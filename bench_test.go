@@ -1,0 +1,144 @@
+// Package main_test hosts the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (§9). Each benchmark prints the
+// corresponding rows/series through b.Log, so running
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation at a laptop-friendly scale. The absolute
+// refresh rates differ from the paper's generated-C++ numbers (this runtime
+// interprets trigger programs), but the relative ordering between REP, IVM,
+// Naive and DBToaster — the paper's claim — is preserved.
+package main_test
+
+import (
+	"testing"
+	"time"
+
+	"dbtoaster/internal/bench"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/workload"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{Scale: 0.2, Seed: 1, Budget: 800 * time.Millisecond}
+}
+
+// runCell benchmarks a single (query, system) cell of Figure 6/7.
+func runCell(b *testing.B, query string, sys bench.System) {
+	spec, ok := workload.Get(query)
+	if !ok {
+		b.Fatalf("unknown query %s", query)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		last = bench.Run(spec, sys, opts)
+		if last.Err != nil {
+			b.Fatal(last.Err)
+		}
+	}
+	b.ReportMetric(last.RefreshRate, "refreshes/s")
+	b.ReportMetric(float64(last.MemBytes)/1024, "viewKB")
+}
+
+// --- Figure 6 / Figure 7: per-query refresh rates for every system ---------
+
+func BenchmarkFig7TPCHQ1DBToaster(b *testing.B)      { runCell(b, "Q1", bench.Systems[3]) }
+func BenchmarkFig7TPCHQ1IVM(b *testing.B)            { runCell(b, "Q1", bench.Systems[1]) }
+func BenchmarkFig7TPCHQ1REP(b *testing.B)            { runCell(b, "Q1", bench.Systems[0]) }
+func BenchmarkFig7TPCHQ3DBToaster(b *testing.B)      { runCell(b, "Q3", bench.Systems[3]) }
+func BenchmarkFig7TPCHQ3IVM(b *testing.B)            { runCell(b, "Q3", bench.Systems[1]) }
+func BenchmarkFig7TPCHQ3REP(b *testing.B)            { runCell(b, "Q3", bench.Systems[0]) }
+func BenchmarkFig7TPCHQ6DBToaster(b *testing.B)      { runCell(b, "Q6", bench.Systems[3]) }
+func BenchmarkFig7TPCHQ6REP(b *testing.B)            { runCell(b, "Q6", bench.Systems[0]) }
+func BenchmarkFig7TPCHQ18aDBToaster(b *testing.B)    { runCell(b, "Q18a", bench.Systems[3]) }
+func BenchmarkFig7TPCHQ18aIVM(b *testing.B)          { runCell(b, "Q18a", bench.Systems[1]) }
+func BenchmarkFig7FinanceVWAPDBToaster(b *testing.B) { runCell(b, "VWAP", bench.Systems[3]) }
+func BenchmarkFig7FinanceVWAPIVM(b *testing.B)       { runCell(b, "VWAP", bench.Systems[1]) }
+func BenchmarkFig7FinancePSPDBToaster(b *testing.B)  { runCell(b, "PSP", bench.Systems[3]) }
+func BenchmarkFig7FinancePSPREP(b *testing.B)        { runCell(b, "PSP", bench.Systems[0]) }
+func BenchmarkFig7FinanceBSVDBToaster(b *testing.B)  { runCell(b, "BSV", bench.Systems[3]) }
+func BenchmarkFig7MDDB1DBToaster(b *testing.B)       { runCell(b, "MDDB1", bench.Systems[3]) }
+
+// BenchmarkFig7FullTable runs the whole Figure 7 matrix once and logs it.
+func BenchmarkFig7FullTable(b *testing.B) {
+	opts := benchOpts()
+	opts.Budget = 400 * time.Millisecond
+	var table string
+	for i := 0; i < b.N; i++ {
+		results := bench.RunAll(workload.Names(""), opts)
+		table = bench.FormatRefreshTable(results)
+	}
+	b.Log("\nFigure 7 (view refreshes per second):\n" + table)
+}
+
+// --- Figures 8-10: refresh-rate and memory traces over the stream ----------
+
+func runTrace(b *testing.B, query string) {
+	spec, ok := workload.Get(query)
+	if !ok {
+		b.Fatalf("unknown query %s", query)
+	}
+	opts := benchOpts()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rendered = ""
+		for _, sys := range []bench.System{{Name: "DBToaster", Mode: compiler.ModeDBToaster}, {Name: "IVM", Mode: compiler.ModeIVM}} {
+			points, err := bench.Trace(spec, sys, opts, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rendered += bench.FormatTrace(query, sys.Name, points)
+		}
+	}
+	b.Log("\n" + rendered)
+}
+
+func BenchmarkFig8TraceQ1(b *testing.B)    { runTrace(b, "Q1") }
+func BenchmarkFig8TraceQ3(b *testing.B)    { runTrace(b, "Q3") }
+func BenchmarkFig8TraceQ11a(b *testing.B)  { runTrace(b, "Q11a") }
+func BenchmarkFig9TraceQ17a(b *testing.B)  { runTrace(b, "Q17a") }
+func BenchmarkFig9TraceQ12(b *testing.B)   { runTrace(b, "Q12") }
+func BenchmarkFig9TraceQ22a(b *testing.B)  { runTrace(b, "Q22a") }
+func BenchmarkFig9TraceQ18a(b *testing.B)  { runTrace(b, "Q18a") }
+func BenchmarkFig10TraceAXF(b *testing.B)  { runTrace(b, "AXF") }
+func BenchmarkFig10TracePSP(b *testing.B)  { runTrace(b, "PSP") }
+func BenchmarkFig10TraceVWAP(b *testing.B) { runTrace(b, "VWAP") }
+func BenchmarkFig10TraceMST(b *testing.B)  { runTrace(b, "MST") }
+
+// --- Figure 11: stream-length scaling ---------------------------------------
+
+func BenchmarkFig11Scaling(b *testing.B) {
+	queries := []string{"Q1", "Q3", "Q6", "Q11a", "Q12", "Q17a", "Q18a"}
+	scales := []float64{0.1, 0.2, 0.5, 1.0}
+	opts := benchOpts()
+	opts.Budget = 2 * time.Second
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rendered = ""
+		for _, q := range queries {
+			spec, _ := workload.Get(q)
+			points, err := bench.Scaling(spec, scales, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rendered += bench.FormatScaling(q, points)
+		}
+	}
+	b.Log("\nFigure 11 (refresh rate vs stream length, relative to smallest scale):\n" + rendered)
+}
+
+// --- Figure 2: workload features and compilation decisions ------------------
+
+func BenchmarkFig2Compile(b *testing.B) {
+	var table string
+	for i := 0; i < b.N; i++ {
+		infos, err := bench.CompileAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = bench.FormatCompileTable(infos)
+	}
+	b.Log("\nFigure 2 (workload features and compiled program shape):\n" + table)
+}

@@ -1,0 +1,81 @@
+// Command dbtbench runs the paper's experiments from the command line: the
+// Figure 6/7 refresh-rate matrix, the Figure 8-10 traces, the Figure 11
+// scaling series, and the Figure 2 compilation table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dbtoaster/internal/bench"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features")
+	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
+	scale := flag.Float64("scale", 0.25, "stream scale factor")
+	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
+	seed := flag.Int64("seed", 1, "stream generator seed")
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget}
+	pick := func(def []string) []string {
+		if *queries == "" {
+			return def
+		}
+		return strings.Split(*queries, ",")
+	}
+
+	switch *experiment {
+	case "fig6_7":
+		results := bench.RunAll(pick(workload.Names("")), opts)
+		fmt.Println("Figure 6/7 — view refreshes per second:")
+		fmt.Print(bench.FormatRefreshTable(results))
+	case "fig8_traces", "fig9_traces", "fig10_traces":
+		defaults := map[string][]string{
+			"fig8_traces":  {"Q1", "Q3", "Q11a"},
+			"fig9_traces":  {"Q17a", "Q12", "Q18a", "Q22a"},
+			"fig10_traces": {"AXF", "PSP", "VWAP", "MST"},
+		}
+		for _, q := range pick(defaults[*experiment]) {
+			spec, ok := workload.Get(q)
+			if !ok {
+				log.Fatalf("unknown query %q", q)
+			}
+			for _, sys := range []bench.System{{Name: "DBToaster", Mode: compiler.ModeDBToaster}, {Name: "IVM", Mode: compiler.ModeIVM}} {
+				points, err := bench.Trace(spec, sys, opts, 10)
+				if err != nil {
+					log.Fatalf("%s/%s: %v", q, sys.Name, err)
+				}
+				fmt.Print(bench.FormatTrace(q, sys.Name, points))
+			}
+		}
+	case "fig11_scaling":
+		scales := []float64{0.1, 0.2, 0.5, 1.0, 2.0}
+		for _, q := range pick([]string{"Q1", "Q3", "Q6", "Q11a", "Q12", "Q17a", "Q18a"}) {
+			spec, ok := workload.Get(q)
+			if !ok {
+				log.Fatalf("unknown query %q", q)
+			}
+			points, err := bench.Scaling(spec, scales, opts)
+			if err != nil {
+				log.Fatalf("%s: %v", q, err)
+			}
+			fmt.Print(bench.FormatScaling(q, points))
+		}
+	case "fig2_features":
+		infos, err := bench.CompileAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 2 — workload features and compiled program shape:")
+		fmt.Print(bench.FormatCompileTable(infos))
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}

@@ -1,0 +1,60 @@
+// Command dbtoasterc is the compiler front end: it compiles a workload query
+// (by name) under a chosen strategy and prints the resulting trigger program
+// — the materialized view definitions and the per-event update statements —
+// in the notation of the paper's Figures 3 and 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "dbtoaster", "compilation strategy: dbtoaster, ivm, rep, naive")
+	list := flag.Bool("list", false, "list the available workload queries and exit")
+	flag.Parse()
+
+	if *list {
+		for _, group := range []string{"tpch", "finance", "mddb"} {
+			fmt.Printf("%s: %s\n", group, strings.Join(workload.Names(group), " "))
+		}
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dbtoasterc [-mode dbtoaster|ivm|rep|naive] <query-name>")
+		fmt.Fprintln(os.Stderr, "       dbtoasterc -list")
+		os.Exit(2)
+	}
+	var m compiler.Mode
+	switch strings.ToLower(*mode) {
+	case "dbtoaster":
+		m = compiler.ModeDBToaster
+	case "ivm":
+		m = compiler.ModeIVM
+	case "rep":
+		m = compiler.ModeREP
+	case "naive":
+		m = compiler.ModeNaive
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	for _, name := range flag.Args() {
+		spec, ok := workload.Get(name)
+		if !ok {
+			log.Fatalf("unknown query %q (use -list)", name)
+		}
+		fmt.Printf("-- query %s (AGCA): %s\n", name, agca.String(spec.Query.Expr))
+		prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(m))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(prog.String())
+	}
+}

@@ -1,0 +1,98 @@
+package agca
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an expression in a compact AGCA-like syntax, close to the
+// paper's notation. It is deterministic, so it doubles as the canonical form
+// used for duplicate view elimination.
+func String(e Expr) string {
+	var b strings.Builder
+	print(&b, e)
+	return b.String()
+}
+
+func print(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case Const:
+		b.WriteString(n.V.String())
+	case Var:
+		b.WriteString(n.Name)
+	case Rel:
+		b.WriteString(n.Name)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(n.Vars, ","))
+		b.WriteByte(')')
+	case MapRef:
+		b.WriteString(n.Name)
+		b.WriteByte('[')
+		b.WriteString(strings.Join(n.Keys, ","))
+		b.WriteByte(']')
+	case Sum:
+		b.WriteByte('(')
+		for i, t := range n.Terms {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			print(b, t)
+		}
+		b.WriteByte(')')
+	case Prod:
+		b.WriteByte('(')
+		for i, f := range n.Factors {
+			if i > 0 {
+				b.WriteString(" * ")
+			}
+			print(b, f)
+		}
+		b.WriteByte(')')
+	case Neg:
+		b.WriteString("-(")
+		print(b, n.E)
+		b.WriteByte(')')
+	case Exists:
+		b.WriteString("Exists(")
+		print(b, n.E)
+		b.WriteByte(')')
+	case Cmp:
+		b.WriteByte('{')
+		print(b, n.L)
+		b.WriteByte(' ')
+		b.WriteString(n.Op.String())
+		b.WriteByte(' ')
+		print(b, n.R)
+		b.WriteByte('}')
+	case Lift:
+		b.WriteByte('(')
+		b.WriteString(n.Var)
+		b.WriteString(" := ")
+		print(b, n.E)
+		b.WriteByte(')')
+	case AggSum:
+		b.WriteString("Sum[")
+		b.WriteString(strings.Join(n.GroupBy, ","))
+		b.WriteString("](")
+		print(b, n.E)
+		b.WriteByte(')')
+	case Div:
+		b.WriteByte('(')
+		print(b, n.L)
+		b.WriteString(" / ")
+		print(b, n.R)
+		b.WriteByte(')')
+	case Func:
+		b.WriteString(n.Name)
+		b.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			print(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?%T", e)
+	}
+}

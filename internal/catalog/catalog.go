@@ -1,0 +1,79 @@
+// Package catalog describes the schemas of the base relations a query is
+// compiled against: column names, and whether a relation is static (loaded
+// once and never updated by the stream, like TPC-H's Nation and Region in the
+// paper's experiments).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation describes one base relation.
+type Relation struct {
+	Name    string
+	Columns []string
+	Static  bool
+}
+
+// Catalog is a set of relation schemas.
+type Catalog struct {
+	rels map[string]Relation
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: make(map[string]Relation)}
+}
+
+// Add registers a dynamic (stream-updated) relation.
+func (c *Catalog) Add(name string, columns ...string) *Catalog {
+	c.rels[name] = Relation{Name: name, Columns: append([]string(nil), columns...)}
+	return c
+}
+
+// AddStatic registers a static relation.
+func (c *Catalog) AddStatic(name string, columns ...string) *Catalog {
+	c.rels[name] = Relation{Name: name, Columns: append([]string(nil), columns...), Static: true}
+	return c
+}
+
+// Has reports whether the relation is known.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.rels[name]
+	return ok
+}
+
+// Columns returns the column names of the relation.
+func (c *Catalog) Columns(name string) ([]string, error) {
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return r.Columns, nil
+}
+
+// IsStatic reports whether the relation is static.
+func (c *Catalog) IsStatic(name string) bool {
+	r, ok := c.rels[name]
+	return ok && r.Static
+}
+
+// Relations returns all relations sorted by name.
+func (c *Catalog) Relations() []Relation {
+	out := make([]Relation, 0, len(c.rels))
+	for _, r := range c.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Clone returns a copy of the catalog.
+func (c *Catalog) Clone() *Catalog {
+	out := New()
+	for _, r := range c.rels {
+		out.rels[r.Name] = Relation{Name: r.Name, Columns: append([]string(nil), r.Columns...), Static: r.Static}
+	}
+	return out
+}

@@ -1,0 +1,533 @@
+// Package compiler turns an AGCA query into a trigger program that keeps its
+// materialized view fresh under single-tuple inserts and deletes. It
+// implements the paper's compilation strategies:
+//
+//   - ModeDBToaster — Higher-Order IVM (Algorithm 2/3): the deltas of the
+//     query are materialized piecewise (query decomposition, input-variable
+//     extraction, nested-aggregate decorrelation, duplicate-view elimination)
+//     and each materialized piece is itself maintained by its own deltas,
+//     recursively.
+//   - ModeIVM — classical first-order IVM: base relations are materialized
+//     and the first-order delta is evaluated over them on every update.
+//   - ModeREP — re-evaluation: the query is recomputed over materialized base
+//     relations on every update.
+//   - ModeNaive — the naive viewlet transform: deltas are materialized
+//     aggressively as single maps, without join-graph decomposition.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/catalog"
+	"dbtoaster/internal/delta"
+	"dbtoaster/internal/opt"
+	"dbtoaster/internal/trigger"
+)
+
+// Mode selects the compilation strategy.
+type Mode int
+
+// Compilation strategies.
+const (
+	ModeDBToaster Mode = iota
+	ModeIVM
+	ModeREP
+	ModeNaive
+)
+
+// String names the mode as used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeDBToaster:
+		return "DBToaster"
+	case ModeIVM:
+		return "IVM"
+	case ModeREP:
+		return "REP"
+	case ModeNaive:
+		return "Naive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure compilation.
+type Options struct {
+	Mode Mode
+	// MaxDepth bounds the recursion of Higher-Order IVM: maps deeper than
+	// MaxDepth are not materialized and the corresponding delta pieces are
+	// evaluated over base tables instead. Negative means unbounded.
+	MaxDepth int
+}
+
+// DefaultOptions returns the options for full Higher-Order IVM.
+func DefaultOptions() Options { return Options{Mode: ModeDBToaster, MaxDepth: -1} }
+
+// OptionsFor returns sensible options for each emulated system.
+func OptionsFor(mode Mode) Options {
+	switch mode {
+	case ModeIVM:
+		return Options{Mode: ModeIVM, MaxDepth: 0}
+	default:
+		return Options{Mode: mode, MaxDepth: -1}
+	}
+}
+
+// Query is a named AGCA query to compile.
+type Query struct {
+	Name string
+	Expr agca.Expr
+}
+
+// Compile produces the trigger program maintaining q under the given options.
+func Compile(q Query, cat *catalog.Catalog, opts Options) (*trigger.Program, error) {
+	if q.Expr == nil {
+		return nil, fmt.Errorf("compiler: query %q has no expression", q.Name)
+	}
+	expr := opt.Simplify(q.Expr)
+	if in := agca.InputVars(expr, agca.VarSet{}); len(in) > 0 {
+		return nil, fmt.Errorf("compiler: query %q has unbound parameters %v", q.Name, in.Sorted())
+	}
+	for _, r := range agca.Relations(expr) {
+		if !cat.Has(r) {
+			return nil, fmt.Errorf("compiler: query %q references unknown relation %q", q.Name, r)
+		}
+	}
+	c := &compileState{
+		cat:       cat,
+		opts:      opts,
+		mapByDef:  map[string]string{},
+		defs:      map[string]*trigger.MapDef{},
+		processed: map[string]bool{},
+		stmts:     map[string][]trigger.Statement{},
+		stmtSeen:  map[string]bool{},
+	}
+
+	resultName := sanitizeName(q.Name)
+	if resultName == "" {
+		resultName = "Q"
+	}
+	resultKeys := agca.OutputVars(expr, agca.VarSet{})
+	c.registerNamedMap(resultName, resultKeys, expr, 0)
+	c.enqueue(resultName)
+
+	for len(c.queue) > 0 {
+		name := c.queue[0]
+		c.queue = c.queue[1:]
+		if c.processed[name] {
+			continue
+		}
+		c.processed[name] = true
+		if err := c.processMap(name); err != nil {
+			return nil, fmt.Errorf("compiler: query %q: %w", q.Name, err)
+		}
+	}
+
+	prog, err := c.assemble(q.Name, resultName, resultKeys)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: query %q: %w", q.Name, err)
+	}
+	return prog, nil
+}
+
+// compileState carries the mutable state of one compilation.
+type compileState struct {
+	cat  *catalog.Catalog
+	opts Options
+
+	mapByDef  map[string]string          // canonical definition -> map name
+	defs      map[string]*trigger.MapDef // map name -> definition
+	order     []string                   // map names in creation order
+	queue     []string                   // maps whose maintenance is pending
+	processed map[string]bool
+	counter   int
+
+	stmts    map[string][]trigger.Statement // trigger key (+R / -R) -> statements
+	stmtSeen map[string]bool                // dedup of (trigger, statement) pairs
+}
+
+func (c *compileState) enqueue(name string) {
+	if !c.processed[name] {
+		c.queue = append(c.queue, name)
+	}
+}
+
+func (c *compileState) registerNamedMap(name string, keys []string, def agca.Expr, depth int) {
+	md := &trigger.MapDef{Name: name, Keys: append([]string(nil), keys...), Definition: def, Depth: depth}
+	c.defs[name] = md
+	c.order = append(c.order, name)
+	c.mapByDef[canonicalDef(def, keys)] = name
+}
+
+// registerMap registers (or reuses) a materialized view for the given
+// definition and key variables, returning its name.
+func (c *compileState) registerMap(def agca.Expr, keys []string, depth int) string {
+	canon := canonicalDef(def, keys)
+	if name, ok := c.mapByDef[canon]; ok {
+		if existing := c.defs[name]; depth < existing.Depth {
+			existing.Depth = depth
+		}
+		return name
+	}
+	c.counter++
+	name := fmt.Sprintf("M%d", c.counter)
+	md := &trigger.MapDef{Name: name, Keys: append([]string(nil), keys...), Definition: def, Depth: depth}
+	c.defs[name] = md
+	c.order = append(c.order, name)
+	c.mapByDef[canon] = name
+	c.enqueue(name)
+	return name
+}
+
+// registerBaseTable registers the materialized copy of a base relation.
+func (c *compileState) registerBaseTable(rel string) (string, error) {
+	name := "BASE_" + rel
+	if _, ok := c.defs[name]; ok {
+		return name, nil
+	}
+	cols, err := c.cat.Columns(rel)
+	if err != nil {
+		return "", err
+	}
+	md := &trigger.MapDef{
+		Name:        name,
+		Keys:        append([]string(nil), cols...),
+		Definition:  agca.Rel{Name: rel, Vars: append([]string(nil), cols...)},
+		Depth:       0,
+		IsBaseTable: true,
+		BaseRel:     rel,
+	}
+	c.defs[name] = md
+	c.order = append(c.order, name)
+	c.enqueue(name)
+	return name, nil
+}
+
+// addStatement records a maintenance statement for the given trigger event.
+// Replacement statements are deduplicated per (trigger, target map) — there
+// is no point recomputing the same view twice for one event — while
+// incremental statements are kept verbatim: a delta whose polynomial
+// expansion yields the same monomial twice (a self-join, Example 12) really
+// does contribute twice.
+func (c *compileState) addStatement(ev delta.Event, s trigger.Statement) {
+	tkey := triggerKey(ev)
+	if s.Kind == trigger.StmtReplace {
+		key := tkey + "|replace|" + s.TargetMap
+		if c.stmtSeen[key] {
+			return
+		}
+		c.stmtSeen[key] = true
+	}
+	c.stmts[tkey] = append(c.stmts[tkey], s)
+}
+
+func triggerKey(ev delta.Event) string {
+	if ev.Insert {
+		return "+" + ev.Relation
+	}
+	return "-" + ev.Relation
+}
+
+// dynamicRelations returns the stream-updated relations used by e, sorted.
+func (c *compileState) dynamicRelations(e agca.Expr) []string {
+	var out []string
+	for _, r := range agca.Relations(e) {
+		if !c.cat.IsStatic(r) {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// processMap generates the maintenance statements for one materialized view.
+func (c *compileState) processMap(name string) error {
+	def := c.defs[name]
+	if def.IsBaseTable {
+		return c.maintainBaseTable(def)
+	}
+	rels := c.dynamicRelations(def.Definition)
+	for _, rel := range rels {
+		cols, err := c.cat.Columns(rel)
+		if err != nil {
+			return err
+		}
+		args := delta.TriggerArgs(rel, cols)
+		for _, insert := range []bool{true, false} {
+			ev := delta.Event{Relation: rel, Insert: insert, Args: args}
+			if err := c.maintain(def, ev); err != nil {
+				return fmt.Errorf("map %s, event %s: %w", name, ev, err)
+			}
+		}
+	}
+	return nil
+}
+
+// maintainBaseTable emits the trivial statements that mirror a base relation.
+func (c *compileState) maintainBaseTable(def *trigger.MapDef) error {
+	cols, err := c.cat.Columns(def.BaseRel)
+	if err != nil {
+		return err
+	}
+	args := delta.TriggerArgs(def.BaseRel, cols)
+	for _, insert := range []bool{true, false} {
+		rhs := agca.Expr(agca.One)
+		if !insert {
+			rhs = agca.Neg{E: agca.One}
+		}
+		ev := delta.Event{Relation: def.BaseRel, Insert: insert, Args: args}
+		c.addStatement(ev, trigger.Statement{
+			TargetMap:  def.Name,
+			TargetKeys: args,
+			Kind:       trigger.StmtIncrement,
+			RHS:        rhs,
+			Depth:      def.Depth,
+		})
+	}
+	return nil
+}
+
+// maintain generates the maintenance of one map for one update event,
+// choosing between incremental maintenance and re-evaluation.
+func (c *compileState) maintain(def *trigger.MapDef, ev delta.Event) error {
+	strategy := c.chooseStrategy(def, ev)
+
+	if strategy == strategyReevaluate {
+		return c.emitReevaluation(def, ev)
+	}
+
+	d, err := delta.Apply(def.Definition, ev)
+	if err != nil {
+		// Not incrementally maintainable: fall back to re-evaluation.
+		return c.emitReevaluation(def, ev)
+	}
+	d = opt.Simplify(d)
+	if agca.IsZero(d) {
+		return nil
+	}
+	monomials := opt.ExpandPolynomial(d)
+	for _, m := range monomials {
+		if err := c.emitIncremental(def, ev, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type strategy int
+
+const (
+	strategyIncremental strategy = iota
+	strategyReevaluate
+)
+
+// chooseStrategy implements the paper's re-evaluate vs incrementally-maintain
+// heuristic (§5.1, "Deltas of Nested Aggregates"): deltas of queries whose
+// nested aggregates over the updated relation are uncorrelated or correlated
+// only through inequalities are more expensive than recomputation, so those
+// maps are re-evaluated; equality-correlated nested aggregates (which become
+// group-by keyed maps after unification) and plain join queries are
+// maintained incrementally.
+func (c *compileState) chooseStrategy(def *trigger.MapDef, ev delta.Event) strategy {
+	if c.opts.Mode == ModeREP {
+		return strategyReevaluate
+	}
+	if c.opts.Mode == ModeNaive || c.opts.Mode == ModeIVM {
+		// Naive materializes deltas aggressively; IVM evaluates first-order
+		// deltas over base tables. Neither re-evaluates unless forced by a
+		// non-incremental construct (handled by the delta error path).
+		if hasNonIncrementalOver(def.Definition, ev.Relation) {
+			return strategyReevaluate
+		}
+		return strategyIncremental
+	}
+	if hasNonIncrementalOver(def.Definition, ev.Relation) {
+		return strategyReevaluate
+	}
+	reeval := false
+	agca.Walk(def.Definition, func(x agca.Expr) {
+		l, ok := x.(agca.Lift)
+		if !ok || !agca.UsesRelation(l.E, ev.Relation) {
+			return
+		}
+		if !liftIsEqualityCorrelated(def.Definition, l) {
+			reeval = true
+		}
+	})
+	if reeval {
+		return strategyReevaluate
+	}
+	return strategyIncremental
+}
+
+// liftIsEqualityCorrelated implements the paper's heuristic for deltas of
+// nested aggregates: the incremental approach pays off only when the nested
+// query is correlated with the outer query on an equality, because then the
+// delta touches a restricted slice of the auxiliary view. A nested aggregate
+// that is uncorrelated, or correlated only through comparisons
+// (inequalities), is cheaper to handle by re-evaluating the enclosing view.
+func liftIsEqualityCorrelated(def agca.Expr, l agca.Lift) bool {
+	liftStr := agca.String(l)
+	// Variables of the definition outside this lift.
+	outside := agca.AllVars(agca.Transform(def, func(x agca.Expr) agca.Expr {
+		if agca.String(x) == liftStr {
+			return agca.One
+		}
+		return x
+	}))
+	bodyVars := agca.AllVars(l.E)
+	var corr []string
+	for v := range bodyVars {
+		if outside[v] {
+			corr = append(corr, v)
+		}
+	}
+	if len(corr) == 0 {
+		return false // uncorrelated
+	}
+	// Equality correlation: every correlation variable is bound inside the
+	// body by a relation column or an assignment (not merely compared).
+	bodyBinds := agca.VarSet{}
+	agca.Walk(l.E, func(x agca.Expr) {
+		switch n := x.(type) {
+		case agca.Rel:
+			bodyBinds.AddAll(n.Vars)
+		case agca.MapRef:
+			bodyBinds.AddAll(n.Keys)
+		case agca.Lift:
+			bodyBinds[n.Var] = true
+		}
+	})
+	for _, v := range corr {
+		if !bodyBinds[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasNonIncrementalOver reports whether e contains a Div or Exists node whose
+// body references the given relation (their deltas do not exist in AGCA).
+func hasNonIncrementalOver(e agca.Expr, rel string) bool {
+	found := false
+	agca.Walk(e, func(x agca.Expr) {
+		switch n := x.(type) {
+		case agca.Div:
+			if agca.UsesRelation(n.L, rel) || agca.UsesRelation(n.R, rel) {
+				found = true
+			}
+		case agca.Exists:
+			if agca.UsesRelation(n.E, rel) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// canonicalDef computes the duplicate-view-elimination key of a map: the
+// definition and key list with all variables alpha-renamed in order of first
+// appearance in the printed form.
+func canonicalDef(def agca.Expr, keys []string) string {
+	s := agca.String(def)
+	rename := map[string]string{}
+	counter := 0
+	vars := agca.AllVars(def)
+	// Deterministic renaming: walk the printed string and assign ids by first
+	// textual occurrence of each known variable name.
+	names := vars.Sorted()
+	sort.Slice(names, func(i, j int) bool {
+		return strings.Index(s, names[i]) < strings.Index(s, names[j])
+	})
+	for _, n := range names {
+		rename[n] = fmt.Sprintf("v%d", counter)
+		counter++
+	}
+	canon := agca.String(agca.RenameVars(def, rename))
+	renKeys := make([]string, len(keys))
+	for i, k := range keys {
+		if r, ok := rename[k]; ok {
+			renKeys[i] = r
+		} else {
+			renKeys[i] = k
+		}
+	}
+	return canon + " @ [" + strings.Join(renKeys, ",") + "]"
+}
+
+// assemble builds the final Program from the collected state.
+func (c *compileState) assemble(queryName, resultName string, resultKeys []string) (*trigger.Program, error) {
+	prog := &trigger.Program{
+		QueryName:  queryName,
+		ResultMap:  resultName,
+		ResultKeys: resultKeys,
+		Relations:  map[string][]string{},
+	}
+	for _, name := range c.order {
+		prog.Maps = append(prog.Maps, *c.defs[name])
+	}
+	// Collect dynamic relations across all map definitions and all statement
+	// right-hand sides (fallback statements may reference base relations that
+	// no definition mentions directly).
+	dyn := map[string]bool{}
+	for _, md := range prog.Maps {
+		for _, r := range c.dynamicRelations(md.Definition) {
+			dyn[r] = true
+		}
+	}
+	statics := map[string]bool{}
+	for _, md := range prog.Maps {
+		for _, r := range agca.Relations(md.Definition) {
+			if c.cat.IsStatic(r) {
+				statics[r] = true
+			}
+		}
+	}
+	var dynNames []string
+	for r := range dyn {
+		dynNames = append(dynNames, r)
+	}
+	sort.Strings(dynNames)
+	for _, r := range dynNames {
+		cols, err := c.cat.Columns(r)
+		if err != nil {
+			return nil, err
+		}
+		prog.Relations[r] = cols
+	}
+	for r := range statics {
+		prog.StaticRelations = append(prog.StaticRelations, r)
+	}
+	sort.Strings(prog.StaticRelations)
+
+	// Build one trigger per (dynamic relation, ±), even if it has no
+	// statements (the engine still consumes the event).
+	for _, r := range dynNames {
+		args := delta.TriggerArgs(r, prog.Relations[r])
+		for _, insert := range []bool{true, false} {
+			key := triggerKey(delta.Event{Relation: r, Insert: insert})
+			prog.Triggers = append(prog.Triggers, trigger.Trigger{
+				Relation: r,
+				Insert:   insert,
+				Args:     args,
+				Stmts:    c.stmts[key],
+			})
+		}
+	}
+	prog.SortStatements()
+	return prog, nil
+}

@@ -1,0 +1,209 @@
+// Package delta implements the delta transform of AGCA expressions
+// (paper §3.4): for an update event u and a query Q it constructs the query
+// ∆uQ with Q(D + u) = Q(D) + ∆uQ(D, u).
+//
+// The package focuses on single-tuple updates, whose deltas have the
+// strongest optimization potential (paper §4): the insertion or deletion of
+// one tuple into relation R replaces each R atom with a product of
+// assignments binding the atom's variables to the trigger arguments.
+package delta
+
+import (
+	"errors"
+	"fmt"
+
+	"dbtoaster/internal/agca"
+)
+
+// Event is a single-tuple update event: the insertion (Insert=true) or
+// deletion of one tuple into/from Relation. Args names the trigger variables
+// carrying the tuple's column values; there must be one per column of the
+// relation's schema.
+type Event struct {
+	Relation string
+	Insert   bool
+	Args     []string
+}
+
+// String renders the event like "+R(x,y)" or "-R(x,y)".
+func (e Event) String() string {
+	sign := "+"
+	if !e.Insert {
+		sign = "-"
+	}
+	s := sign + e.Relation + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a
+	}
+	return s + ")"
+}
+
+// InsertEvent builds an insertion event.
+func InsertEvent(rel string, args ...string) Event {
+	return Event{Relation: rel, Insert: true, Args: args}
+}
+
+// DeleteEvent builds a deletion event.
+func DeleteEvent(rel string, args ...string) Event {
+	return Event{Relation: rel, Insert: false, Args: args}
+}
+
+// TriggerArgs returns canonical trigger variable names for a relation with
+// the given column names, e.g. orders.ORDERKEY -> "orders__orderkey_t".
+func TriggerArgs(rel string, cols []string) []string {
+	args := make([]string, len(cols))
+	for i, c := range cols {
+		args[i] = fmt.Sprintf("%s_%s_t", rel, c)
+	}
+	return args
+}
+
+// ErrNonIncremental reports that the expression contains a construct whose
+// delta is not expressible in AGCA (division of aggregates, Exists over a
+// changing subquery). Callers fall back to re-evaluation for such
+// expressions, as the paper's compiler does.
+var ErrNonIncremental = errors.New("delta: expression is not incrementally maintainable")
+
+// Apply returns ∆event(e). The result still needs simplification (package
+// opt); in particular products with the constant 0 are produced liberally.
+// It returns ErrNonIncremental when e (restricted to the parts affected by
+// the event) cannot be incrementalized.
+func Apply(e agca.Expr, ev Event) (agca.Expr, error) {
+	return deltaExpr(e, ev)
+}
+
+func deltaExpr(e agca.Expr, ev Event) (agca.Expr, error) {
+	switch n := e.(type) {
+	case agca.Const, agca.Var, agca.Cmp, agca.Func, agca.MapRef:
+		return agca.Zero, nil
+
+	case agca.Rel:
+		if n.Name != ev.Relation {
+			return agca.Zero, nil
+		}
+		if len(n.Vars) != len(ev.Args) {
+			return nil, fmt.Errorf("delta: relation %s has %d columns but event carries %d arguments",
+				n.Name, len(n.Vars), len(ev.Args))
+		}
+		factors := make([]agca.Expr, 0, len(n.Vars))
+		for i, v := range n.Vars {
+			factors = append(factors, agca.Lift{Var: v, E: agca.Var{Name: ev.Args[i]}})
+		}
+		var out agca.Expr = agca.Mul(factors...)
+		if len(factors) == 0 {
+			out = agca.One
+		}
+		if !ev.Insert {
+			out = agca.Neg{E: out}
+		}
+		return out, nil
+
+	case agca.Neg:
+		d, err := deltaExpr(n.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		return agca.Neg{E: d}, nil
+
+	case agca.Sum:
+		terms := make([]agca.Expr, 0, len(n.Terms))
+		for _, t := range n.Terms {
+			d, err := deltaExpr(t, ev)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, d)
+		}
+		return agca.Add(terms...), nil
+
+	case agca.Prod:
+		return deltaProd(n.Factors, ev)
+
+	case agca.AggSum:
+		d, err := deltaExpr(n.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		return agca.AggSum{GroupBy: append([]string(nil), n.GroupBy...), E: d}, nil
+
+	case agca.Lift:
+		if !agca.UsesRelation(n.E, ev.Relation) {
+			return agca.Zero, nil
+		}
+		d, err := deltaExpr(n.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		// ∆(x := Q) = (x := Q + ∆Q) − (x := Q)
+		newLift := agca.Lift{Var: n.Var, E: agca.Add(agca.Clone(n.E), d)}
+		oldLift := agca.Lift{Var: n.Var, E: agca.Clone(n.E)}
+		return agca.Subtract(newLift, oldLift), nil
+
+	case agca.Exists:
+		if !agca.UsesRelation(n.E, ev.Relation) {
+			return agca.Zero, nil
+		}
+		return nil, ErrNonIncremental
+
+	case agca.Div:
+		if !agca.UsesRelation(n.L, ev.Relation) && !agca.UsesRelation(n.R, ev.Relation) {
+			return agca.Zero, nil
+		}
+		return nil, ErrNonIncremental
+
+	default:
+		return nil, fmt.Errorf("delta: unknown expression node %T", e)
+	}
+}
+
+// deltaProd applies the product rule
+// ∆(Q1*Q2) = ∆Q1*Q2 + Q1*∆Q2 + ∆Q1*∆Q2, folded over the factor list.
+func deltaProd(factors []agca.Expr, ev Event) (agca.Expr, error) {
+	if len(factors) == 0 {
+		return agca.Zero, nil
+	}
+	if len(factors) == 1 {
+		return deltaExpr(factors[0], ev)
+	}
+	head := factors[0]
+	rest := factors[1:]
+
+	dHead, err := deltaExpr(head, ev)
+	if err != nil {
+		return nil, err
+	}
+	restExpr := agca.Mul(append([]agca.Expr(nil), rest...)...)
+	dRest, err := deltaProd(rest, ev)
+	if err != nil {
+		return nil, err
+	}
+
+	var terms []agca.Expr
+	if !agca.IsZero(dHead) {
+		terms = append(terms, agca.Mul(dHead, agca.Clone(restExpr)))
+	}
+	if !agca.IsZero(dRest) {
+		terms = append(terms, agca.Mul(agca.Clone(head), dRest))
+	}
+	if !agca.IsZero(dHead) && !agca.IsZero(dRest) {
+		terms = append(terms, agca.Mul(agca.Clone(dHead), agca.Clone(dRest)))
+	}
+	if len(terms) == 0 {
+		return agca.Zero, nil
+	}
+	return agca.Add(terms...), nil
+}
+
+// IsIncremental reports whether e can be incrementally maintained with
+// respect to updates of the given relation (its delta exists in AGCA).
+func IsIncremental(e agca.Expr, rel string, argCount int) bool {
+	args := make([]string, argCount)
+	for i := range args {
+		args[i] = fmt.Sprintf("__probe%d", i)
+	}
+	_, err := Apply(e, InsertEvent(rel, args...))
+	return err == nil
+}

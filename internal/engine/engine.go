@@ -1,0 +1,255 @@
+// Package engine executes compiled trigger programs: it owns the materialized
+// views (the paper's map data structures with secondary indexes), applies
+// update events by running the corresponding trigger's statements, and exposes
+// the continuously fresh query result.
+package engine
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/trigger"
+	"dbtoaster/internal/types"
+)
+
+// Engine is a single-threaded in-memory view maintenance runtime for one
+// compiled trigger program.
+type Engine struct {
+	prog    *trigger.Program
+	views   map[string]*View
+	statics map[string]*gmr.GMR
+	// triggers indexed by event key for O(1) dispatch.
+	triggers map[string]*trigger.Trigger
+	// argBuf avoids reallocating the environment on every event.
+	events uint64
+}
+
+// New creates an engine for the program. Views whose definitions reference
+// only static relations are initialized eagerly once the static tables have
+// been loaded with LoadStatic; call Init after loading them.
+func New(prog *trigger.Program) *Engine {
+	e := &Engine{
+		prog:     prog,
+		views:    make(map[string]*View, len(prog.Maps)),
+		statics:  map[string]*gmr.GMR{},
+		triggers: map[string]*trigger.Trigger{},
+	}
+	for i := range prog.Maps {
+		m := prog.Maps[i]
+		e.views[m.Name] = NewView(m.Name, m.Keys)
+	}
+	for i := range prog.Triggers {
+		t := &prog.Triggers[i]
+		e.triggers[t.Key()] = t
+	}
+	return e
+}
+
+// Program returns the compiled program the engine runs.
+func (e *Engine) Program() *trigger.Program { return e.prog }
+
+// LoadStatic installs the contents of a static relation (loaded before the
+// stream starts, like TPC-H's Nation/Region in the paper's setup).
+func (e *Engine) LoadStatic(name string, data *gmr.GMR) {
+	e.statics[name] = data
+}
+
+// Init evaluates the definitions of views that depend only on static
+// relations (they receive no trigger statements) so that they are correct
+// before the first update arrives.
+func (e *Engine) Init() error {
+	for _, m := range e.prog.Maps {
+		if m.IsBaseTable {
+			continue
+		}
+		rels := agca.Relations(m.Definition)
+		if len(rels) == 0 {
+			continue
+		}
+		dynamic := false
+		for _, r := range rels {
+			if _, ok := e.prog.Relations[r]; ok {
+				dynamic = true
+				break
+			}
+		}
+		if dynamic {
+			continue
+		}
+		res, err := agca.EvalChecked(m.Definition, e, types.Env{})
+		if err != nil {
+			return fmt.Errorf("engine: init of %s: %w", m.Name, err)
+		}
+		v := e.views[m.Name]
+		v.Clear()
+		res.Foreach(func(t types.Tuple, mult float64) {
+			v.AddProjected(res.Schema(), t, mult, m.Keys)
+		})
+	}
+	return nil
+}
+
+// Relation implements agca.Database: map references and relation atoms in
+// statements resolve to materialized views, and names not backed by a view
+// resolve to static tables (or an empty relation).
+func (e *Engine) Relation(name string) *gmr.GMR {
+	if v, ok := e.views[name]; ok {
+		return v.Data()
+	}
+	if s, ok := e.statics[name]; ok {
+		return s
+	}
+	return gmr.New(nil)
+}
+
+// Probe implements agca.Prober with per-view secondary indexes.
+func (e *Engine) Probe(name string, cols []int, vals []types.Value) []gmr.Entry {
+	if v, ok := e.views[name]; ok {
+		return v.Probe(cols, vals)
+	}
+	if s, ok := e.statics[name]; ok {
+		return probeScan(s, cols, vals)
+	}
+	return nil
+}
+
+// probeScan filters a GMR by scanning (used for static tables, which are
+// small in the paper's workloads).
+func probeScan(g *gmr.GMR, cols []int, vals []types.Value) []gmr.Entry {
+	var out []gmr.Entry
+	g.Foreach(func(t types.Tuple, m float64) {
+		for i, c := range cols {
+			if c >= len(t) || !t[c].Equal(vals[i]) {
+				return
+			}
+		}
+		out = append(out, gmr.Entry{Tuple: t, Mult: m})
+	})
+	return out
+}
+
+// Event is one single-tuple update of the input stream.
+type Event struct {
+	Relation string
+	Insert   bool
+	Tuple    types.Tuple
+}
+
+// Apply processes one update event: it binds the trigger arguments to the
+// tuple's values and executes the trigger's statements in order.
+func (e *Engine) Apply(ev Event) error {
+	key := "-" + ev.Relation
+	if ev.Insert {
+		key = "+" + ev.Relation
+	}
+	trig, ok := e.triggers[key]
+	if !ok {
+		// Relations that the query does not reference (or static relations)
+		// are ignored, like events the paper's generated engines drop.
+		return nil
+	}
+	if len(trig.Args) != len(ev.Tuple) {
+		return fmt.Errorf("engine: event on %s carries %d values, trigger expects %d",
+			ev.Relation, len(ev.Tuple), len(trig.Args))
+	}
+	env := make(types.Env, len(trig.Args))
+	for i, a := range trig.Args {
+		env[a] = ev.Tuple[i]
+	}
+	e.events++
+	for i := range trig.Stmts {
+		if err := e.execute(&trig.Stmts[i], env); err != nil {
+			return fmt.Errorf("engine: %s: statement %q: %w", key, trig.Stmts[i].String(), err)
+		}
+	}
+	return nil
+}
+
+// execute runs one maintenance statement under the trigger environment.
+func (e *Engine) execute(s *trigger.Statement, env types.Env) error {
+	res, err := agca.EvalChecked(s.RHS, e, env)
+	if err != nil {
+		return err
+	}
+	target, ok := e.views[s.TargetMap]
+	if !ok {
+		return fmt.Errorf("unknown target map %q", s.TargetMap)
+	}
+	if s.Kind == trigger.StmtReplace {
+		target.Clear()
+	}
+
+	schema := res.Schema()
+	// Pre-compute, for every target key, whether it comes from the trigger
+	// environment or from a result column.
+	type keySrc struct {
+		fromEnv bool
+		val     types.Value
+		col     int
+	}
+	srcs := make([]keySrc, len(s.TargetKeys))
+	for i, k := range s.TargetKeys {
+		if v, bound := env[k]; bound {
+			srcs[i] = keySrc{fromEnv: true, val: v}
+			continue
+		}
+		col := schema.Index(k)
+		if col < 0 {
+			if res.IsEmpty() {
+				// Nothing to apply; a truncated empty result may not carry
+				// every column.
+				return nil
+			}
+			return fmt.Errorf("result lacks key column %q (schema %v)", k, schema)
+		}
+		srcs[i] = keySrc{col: col}
+	}
+
+	res.Foreach(func(t types.Tuple, m float64) {
+		key := make(types.Tuple, len(srcs))
+		for i, src := range srcs {
+			if src.fromEnv {
+				key[i] = src.val
+			} else {
+				key[i] = t[src.col]
+			}
+		}
+		if s.Kind == trigger.StmtReplace {
+			target.Add(key, m)
+		} else {
+			target.Add(key, m)
+		}
+	})
+	return nil
+}
+
+// Result returns the (live) GMR of the query result view.
+func (e *Engine) Result() *gmr.GMR {
+	return e.Relation(e.prog.ResultMap)
+}
+
+// View returns the named materialized view (nil if unknown).
+func (e *Engine) View(name string) *View { return e.views[name] }
+
+// Events returns the number of update events processed.
+func (e *Engine) Events() uint64 { return e.events }
+
+// MemoryBytes estimates the memory held by all materialized views, mirroring
+// the paper's per-query memory traces.
+func (e *Engine) MemoryBytes() int {
+	total := 0
+	for _, v := range e.views {
+		total += v.MemSize()
+	}
+	return total
+}
+
+// ViewSizes returns the entry count of every materialized view.
+func (e *Engine) ViewSizes() map[string]int {
+	out := make(map[string]int, len(e.views))
+	for name, v := range e.views {
+		out[name] = v.Data().Len()
+	}
+	return out
+}

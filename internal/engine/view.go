@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+// View is one materialized map: the primary GMR keyed by the view's key
+// variables plus lazily created secondary hash indexes for the binding
+// patterns that trigger statements probe with (the role Boost Multi-Index
+// plays in the paper's C++ backend).
+type View struct {
+	name    string
+	keys    []string
+	data    *gmr.GMR
+	indexes map[string]*secondaryIndex
+}
+
+// secondaryIndex maps the encoded values of a column subset to the matching
+// entries of the view.
+type secondaryIndex struct {
+	cols    []int
+	buckets map[string]map[string]gmr.Entry // subset key -> primary key -> entry
+}
+
+// NewView creates an empty view with the given key variable names.
+func NewView(name string, keys []string) *View {
+	return &View{
+		name:    name,
+		keys:    append([]string(nil), keys...),
+		data:    gmr.New(types.Schema(keys)),
+		indexes: map[string]*secondaryIndex{},
+	}
+}
+
+// Name returns the view's name.
+func (v *View) Name() string { return v.name }
+
+// Keys returns the view's key variable names.
+func (v *View) Keys() []string { return v.keys }
+
+// Data returns the underlying GMR (live, not a copy).
+func (v *View) Data() *gmr.GMR { return v.data }
+
+// Add increments the multiplicity of the given key tuple, keeping secondary
+// indexes in sync.
+func (v *View) Add(key types.Tuple, mult float64) {
+	if mult == 0 {
+		return
+	}
+	v.data.Add(key, mult)
+	if len(v.indexes) == 0 {
+		return
+	}
+	newMult := v.data.Get(key)
+	pk := key.EncodeKey()
+	for _, idx := range v.indexes {
+		bk := idx.bucketKey(key)
+		bucket := idx.buckets[bk]
+		if newMult == 0 {
+			if bucket != nil {
+				delete(bucket, pk)
+				if len(bucket) == 0 {
+					delete(idx.buckets, bk)
+				}
+			}
+			continue
+		}
+		if bucket == nil {
+			bucket = map[string]gmr.Entry{}
+			idx.buckets[bk] = bucket
+		}
+		bucket[pk] = gmr.Entry{Tuple: key.Clone(), Mult: newMult}
+	}
+}
+
+// AddProjected adds a tuple given in an arbitrary column order (schema) by
+// projecting it onto the view's key order.
+func (v *View) AddProjected(schema types.Schema, t types.Tuple, mult float64, keys []string) {
+	key := make(types.Tuple, len(v.keys))
+	for i, k := range v.keys {
+		j := schema.Index(k)
+		if j < 0 {
+			// Fall back to positional assignment for callers that already
+			// projected the tuple.
+			if i < len(t) {
+				key[i] = t[i]
+				continue
+			}
+			key[i] = types.Null()
+			continue
+		}
+		key[i] = t[j]
+	}
+	v.Add(key, mult)
+}
+
+// Clear removes all contents and indexes.
+func (v *View) Clear() {
+	v.data = gmr.New(types.Schema(v.keys))
+	v.indexes = map[string]*secondaryIndex{}
+}
+
+// Probe returns the entries whose columns at the given positions equal the
+// given values. A fully-bound probe is a direct primary lookup; partial
+// probes use (and lazily build) a secondary index.
+func (v *View) Probe(cols []int, vals []types.Value) []gmr.Entry {
+	if len(cols) == len(v.keys) {
+		inOrder := true
+		for i, c := range cols {
+			if c != i {
+				inOrder = false
+				break
+			}
+		}
+		if inOrder {
+			m := v.data.Get(types.Tuple(vals))
+			if m == 0 {
+				return nil
+			}
+			return []gmr.Entry{{Tuple: append(types.Tuple(nil), vals...), Mult: m}}
+		}
+	}
+	idx := v.index(cols)
+	bk := encodeVals(vals)
+	bucket := idx.buckets[bk]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]gmr.Entry, 0, len(bucket))
+	for _, e := range bucket {
+		out = append(out, e)
+	}
+	return out
+}
+
+// index returns (building if necessary) the secondary index on the given
+// column positions.
+func (v *View) index(cols []int) *secondaryIndex {
+	sig := signature(cols)
+	if idx, ok := v.indexes[sig]; ok {
+		return idx
+	}
+	idx := &secondaryIndex{cols: append([]int(nil), cols...), buckets: map[string]map[string]gmr.Entry{}}
+	v.data.Foreach(func(t types.Tuple, m float64) {
+		bk := idx.bucketKey(t)
+		bucket := idx.buckets[bk]
+		if bucket == nil {
+			bucket = map[string]gmr.Entry{}
+			idx.buckets[bk] = bucket
+		}
+		bucket[t.EncodeKey()] = gmr.Entry{Tuple: t.Clone(), Mult: m}
+	})
+	v.indexes[sig] = idx
+	return idx
+}
+
+func (idx *secondaryIndex) bucketKey(t types.Tuple) string {
+	sub := make(types.Tuple, len(idx.cols))
+	for i, c := range idx.cols {
+		sub[i] = t[c]
+	}
+	return sub.EncodeKey()
+}
+
+func encodeVals(vals []types.Value) string {
+	return types.Tuple(vals).EncodeKey()
+}
+
+func signature(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// MemSize estimates the bytes held by the view including secondary indexes.
+func (v *View) MemSize() int {
+	n := v.data.MemSize()
+	for _, idx := range v.indexes {
+		for bk, bucket := range idx.buckets {
+			n += len(bk) + 32
+			for pk := range bucket {
+				n += len(pk) + 48
+			}
+		}
+	}
+	return n
+}

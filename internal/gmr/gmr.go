@@ -1,0 +1,310 @@
+// Package gmr implements generalized multiset relations (GMRs), the data
+// model of DBToaster's AGCA calculus (paper §3.1).
+//
+// A GMR maps tuples to numeric multiplicities. Databases, query results,
+// updates and deltas are all GMRs; a deletion is simply a GMR with negative
+// multiplicities and "applying" an update means adding it. Together with the
+// addition (bag union) and multiplication (natural join) operations defined
+// here, GMRs form the ring that makes delta processing compositional.
+package gmr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dbtoaster/internal/types"
+)
+
+// Epsilon is the multiplicity magnitude below which an entry is considered
+// zero and removed. Integer-weighted workloads never need it; it guards
+// against float drift when aggregates are maintained incrementally.
+const Epsilon = 1e-9
+
+// Entry is a single tuple together with its multiplicity.
+type Entry struct {
+	Tuple types.Tuple
+	Mult  float64
+}
+
+// GMR is a generalized multiset relation: a finite map from tuples (over a
+// fixed schema of variable names) to rational multiplicities, represented here
+// with float64.
+type GMR struct {
+	schema types.Schema
+	rows   map[string]Entry
+}
+
+// New returns an empty GMR with the given schema.
+func New(schema types.Schema) *GMR {
+	return &GMR{schema: schema.Clone(), rows: make(map[string]Entry)}
+}
+
+// NewScalar returns a nullary GMR (empty schema) whose single tuple 〈〉 has
+// multiplicity m. Scalars are how AGCA represents aggregate values.
+func NewScalar(m float64) *GMR {
+	g := New(nil)
+	if m != 0 {
+		g.rows[""] = Entry{Tuple: types.Tuple{}, Mult: m}
+	}
+	return g
+}
+
+// Schema returns the schema (variable names) of the GMR.
+func (g *GMR) Schema() types.Schema { return g.schema }
+
+// Len returns the number of tuples with non-zero multiplicity.
+func (g *GMR) Len() int { return len(g.rows) }
+
+// IsEmpty reports whether the GMR has no non-zero entries.
+func (g *GMR) IsEmpty() bool { return len(g.rows) == 0 }
+
+// Get returns the multiplicity of the given tuple (0 if absent).
+func (g *GMR) Get(t types.Tuple) float64 {
+	e, ok := g.rows[t.EncodeKey()]
+	if !ok {
+		return 0
+	}
+	return e.Mult
+}
+
+// ScalarValue returns the multiplicity of the empty tuple; for nullary GMRs
+// this is the aggregate value the GMR denotes.
+func (g *GMR) ScalarValue() float64 {
+	e, ok := g.rows[""]
+	if !ok {
+		return 0
+	}
+	return e.Mult
+}
+
+// Add increments the multiplicity of tuple t by m, removing the entry if the
+// result is (numerically) zero.
+func (g *GMR) Add(t types.Tuple, m float64) {
+	if m == 0 {
+		return
+	}
+	if len(t) != len(g.schema) {
+		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
+	}
+	k := t.EncodeKey()
+	e, ok := g.rows[k]
+	if !ok {
+		g.rows[k] = Entry{Tuple: t.Clone(), Mult: m}
+		return
+	}
+	e.Mult += m
+	if math.Abs(e.Mult) <= Epsilon {
+		delete(g.rows, k)
+		return
+	}
+	g.rows[k] = e
+}
+
+// Set assigns the multiplicity of tuple t to m (removing it when m is zero).
+func (g *GMR) Set(t types.Tuple, m float64) {
+	k := t.EncodeKey()
+	if math.Abs(m) <= Epsilon {
+		delete(g.rows, k)
+		return
+	}
+	g.rows[k] = Entry{Tuple: t.Clone(), Mult: m}
+}
+
+// Foreach calls fn for every entry of the GMR in unspecified order.
+func (g *GMR) Foreach(fn func(t types.Tuple, m float64)) {
+	for _, e := range g.rows {
+		fn(e.Tuple, e.Mult)
+	}
+}
+
+// Entries returns the entries of the GMR sorted by tuple key; the order is
+// deterministic, which tests and pretty-printers rely on.
+func (g *GMR) Entries() []Entry {
+	keys := make([]string, 0, len(g.rows))
+	for k := range g.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = g.rows[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the GMR.
+func (g *GMR) Clone() *GMR {
+	out := New(g.schema)
+	for k, e := range g.rows {
+		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: e.Mult}
+	}
+	return out
+}
+
+// Clear removes all entries.
+func (g *GMR) Clear() { g.rows = make(map[string]Entry) }
+
+// MergeInto adds every entry of o (scaled by factor) into g. The schemas must
+// be identical; it is the GMR ring's "+" applied in place.
+func (g *GMR) MergeInto(o *GMR, factor float64) {
+	if o == nil || factor == 0 {
+		return
+	}
+	if !g.schema.Equal(o.schema) {
+		panic(fmt.Sprintf("gmr: MergeInto schema mismatch %v vs %v", g.schema, o.schema))
+	}
+	for _, e := range o.rows {
+		g.Add(e.Tuple, e.Mult*factor)
+	}
+}
+
+// AddGMR returns the ring sum a + b of two GMRs over the same schema.
+func AddGMR(a, b *GMR) *GMR {
+	out := a.Clone()
+	out.MergeInto(b, 1)
+	return out
+}
+
+// Negate returns -g.
+func Negate(g *GMR) *GMR {
+	out := New(g.schema)
+	for _, e := range g.rows {
+		out.Add(e.Tuple, -e.Mult)
+	}
+	return out
+}
+
+// Scale returns g with every multiplicity multiplied by f.
+func Scale(g *GMR, f float64) *GMR {
+	out := New(g.schema)
+	if f == 0 {
+		return out
+	}
+	for _, e := range g.rows {
+		out.Add(e.Tuple, e.Mult*f)
+	}
+	return out
+}
+
+// Equal reports whether two GMRs have the same schema and the same
+// multiplicity for every tuple, within tol.
+func Equal(a, b *GMR, tol float64) bool {
+	if !a.schema.Equal(b.schema) {
+		return false
+	}
+	for k, e := range a.rows {
+		o, ok := b.rows[k]
+		m := 0.0
+		if ok {
+			m = o.Mult
+		}
+		if math.Abs(e.Mult-m) > tol {
+			return false
+		}
+	}
+	for k, e := range b.rows {
+		if _, ok := a.rows[k]; !ok && math.Abs(e.Mult) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the natural join (ring product) of a and b. Shared columns must
+// agree; the result schema is a's schema followed by b's columns not in a, and
+// multiplicities multiply.
+func Join(a, b *GMR) *GMR {
+	shared := make([]int, 0, len(b.schema)) // index in a for each shared b column
+	bExtra := make([]int, 0, len(b.schema)) // positions of b columns not in a
+	outSchema := a.schema.Clone()
+	for bi, name := range b.schema {
+		if ai := a.schema.Index(name); ai >= 0 {
+			shared = append(shared, ai)
+			shared = append(shared, bi)
+		} else {
+			bExtra = append(bExtra, bi)
+			outSchema = append(outSchema, name)
+		}
+	}
+	out := New(outSchema)
+	// Hash the smaller side on the shared columns.
+	for _, ea := range a.rows {
+		for _, eb := range b.rows {
+			ok := true
+			for i := 0; i < len(shared); i += 2 {
+				if !ea.Tuple[shared[i]].Equal(eb.Tuple[shared[i+1]]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			t := make(types.Tuple, 0, len(outSchema))
+			t = append(t, ea.Tuple...)
+			for _, bi := range bExtra {
+				t = append(t, eb.Tuple[bi])
+			}
+			out.Add(t, ea.Mult*eb.Mult)
+		}
+	}
+	return out
+}
+
+// Project returns the multiplicity-preserving projection of g onto the given
+// columns (the Sum_A group-by aggregation of AGCA): tuples are projected and
+// their multiplicities summed.
+func Project(g *GMR, cols types.Schema) *GMR {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := g.schema.Index(c)
+		if j < 0 {
+			panic(fmt.Sprintf("gmr: Project column %q not in schema %v", c, g.schema))
+		}
+		idx[i] = j
+	}
+	out := New(cols)
+	for _, e := range g.rows {
+		t := make(types.Tuple, len(cols))
+		for i, j := range idx {
+			t[i] = e.Tuple[j]
+		}
+		out.Add(t, e.Mult)
+	}
+	return out
+}
+
+// FromRows builds a GMR from a schema and rows, each row inserted with
+// multiplicity 1 (duplicates accumulate).
+func FromRows(schema types.Schema, rows []types.Tuple) *GMR {
+	g := New(schema)
+	for _, r := range rows {
+		g.Add(r, 1)
+	}
+	return g
+}
+
+// String renders the GMR as a small table, in deterministic order.
+func (g *GMR) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GMR%v{", g.schema)
+	for i, e := range g.Entries() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v->%g", e.Tuple, e.Mult)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// MemSize estimates the in-memory footprint of the GMR in bytes.
+func (g *GMR) MemSize() int {
+	n := 48
+	for k, e := range g.rows {
+		n += len(k) + 16 + e.Tuple.MemSize() + 8
+	}
+	return n
+}

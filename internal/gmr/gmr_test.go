@@ -1,0 +1,254 @@
+package gmr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbtoaster/internal/types"
+)
+
+func tup(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.Int(v)
+	}
+	return t
+}
+
+func TestAddGetRemoveOnZero(t *testing.T) {
+	g := New(types.Schema{"a", "b"})
+	g.Add(tup(1, 2), 3)
+	g.Add(tup(1, 2), 2)
+	if got := g.Get(tup(1, 2)); got != 5 {
+		t.Fatalf("Get = %v, want 5", got)
+	}
+	g.Add(tup(1, 2), -5)
+	if g.Len() != 0 {
+		t.Fatalf("entry should be removed when multiplicity reaches zero, len=%d", g.Len())
+	}
+	if got := g.Get(tup(1, 2)); got != 0 {
+		t.Fatalf("Get after removal = %v", got)
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := NewScalar(4.5)
+	if s.ScalarValue() != 4.5 {
+		t.Fatalf("ScalarValue = %v", s.ScalarValue())
+	}
+	if NewScalar(0).Len() != 0 {
+		t.Fatal("zero scalar should be empty")
+	}
+}
+
+func TestSet(t *testing.T) {
+	g := New(types.Schema{"a"})
+	g.Set(tup(1), 2)
+	g.Set(tup(1), 7)
+	if g.Get(tup(1)) != 7 {
+		t.Fatal("Set should overwrite")
+	}
+	g.Set(tup(1), 0)
+	if g.Len() != 0 {
+		t.Fatal("Set to zero should remove")
+	}
+}
+
+func TestNegateScale(t *testing.T) {
+	g := New(types.Schema{"a"})
+	g.Add(tup(1), 2)
+	g.Add(tup(2), -3)
+	n := Negate(g)
+	if n.Get(tup(1)) != -2 || n.Get(tup(2)) != 3 {
+		t.Fatal("Negate wrong")
+	}
+	s := Scale(g, 2)
+	if s.Get(tup(1)) != 4 || s.Get(tup(2)) != -6 {
+		t.Fatal("Scale wrong")
+	}
+	if Scale(g, 0).Len() != 0 {
+		t.Fatal("Scale by zero should be empty")
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	r := New(types.Schema{"a", "b"})
+	r.Add(tup(1, 2), 1)
+	r.Add(tup(3, 5), 2)
+	s := New(types.Schema{"b", "c"})
+	s.Add(tup(2, 7), 3)
+	s.Add(tup(5, 9), 1)
+	s.Add(tup(8, 8), 1)
+	j := Join(r, s)
+	if !j.Schema().Equal(types.Schema{"a", "b", "c"}) {
+		t.Fatalf("schema = %v", j.Schema())
+	}
+	if j.Get(tup(1, 2, 7)) != 3 {
+		t.Fatalf("join multiplicity wrong: %v", j)
+	}
+	if j.Get(tup(3, 5, 9)) != 2 {
+		t.Fatalf("join multiplicity wrong: %v", j)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join should have 2 tuples, got %v", j)
+	}
+}
+
+func TestJoinDisjointIsCrossProduct(t *testing.T) {
+	r := New(types.Schema{"a"})
+	r.Add(tup(1), 2)
+	r.Add(tup(2), 1)
+	s := New(types.Schema{"b"})
+	s.Add(tup(10), 3)
+	j := Join(r, s)
+	if j.Len() != 2 || j.Get(tup(1, 10)) != 6 || j.Get(tup(2, 10)) != 3 {
+		t.Fatalf("cross product wrong: %v", j)
+	}
+}
+
+func TestProjectSumsMultiplicities(t *testing.T) {
+	r := New(types.Schema{"a", "b"})
+	r.Add(tup(1, 2), 7)
+	r.Add(tup(3, 5), 2)
+	r.Add(tup(4, 2), 3)
+	p := Project(r, types.Schema{"b"})
+	if p.Get(tup(2)) != 10 || p.Get(tup(5)) != 2 {
+		t.Fatalf("Project wrong: %v", p)
+	}
+	scalar := Project(r, nil)
+	if scalar.ScalarValue() != 12 {
+		t.Fatalf("Project to scalar = %v", scalar.ScalarValue())
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(types.Schema{"x"})
+	a.Add(tup(1), 1)
+	b := a.Clone()
+	if !Equal(a, b, 0) {
+		t.Fatal("clone should be equal")
+	}
+	b.Add(tup(2), 1)
+	if Equal(a, b, 0) {
+		t.Fatal("should differ after add")
+	}
+	b.Add(tup(2), -1)
+	if !Equal(a, b, 0) {
+		t.Fatal("should be equal again")
+	}
+}
+
+func TestMergeIntoAndAddGMR(t *testing.T) {
+	a := New(types.Schema{"x"})
+	a.Add(tup(1), 2)
+	b := New(types.Schema{"x"})
+	b.Add(tup(1), -2)
+	b.Add(tup(2), 5)
+	sum := AddGMR(a, b)
+	if sum.Get(tup(1)) != 0 || sum.Get(tup(2)) != 5 || sum.Len() != 1 {
+		t.Fatalf("AddGMR wrong: %v", sum)
+	}
+	a.MergeInto(b, 2)
+	if a.Get(tup(1)) != -2 || a.Get(tup(2)) != 10 {
+		t.Fatalf("MergeInto wrong: %v", a)
+	}
+}
+
+func TestFromRowsAndEntriesDeterministic(t *testing.T) {
+	rows := []types.Tuple{tup(3), tup(1), tup(3)}
+	g := FromRows(types.Schema{"a"}, rows)
+	if g.Get(tup(3)) != 2 || g.Get(tup(1)) != 1 {
+		t.Fatalf("FromRows wrong: %v", g)
+	}
+	e1 := g.Entries()
+	e2 := g.Entries()
+	for i := range e1 {
+		if !e1[i].Tuple.Equal(e2[i].Tuple) {
+			t.Fatal("Entries order must be deterministic")
+		}
+	}
+}
+
+// randGMR builds a random integer-valued GMR over the given schema so that
+// ring-law property tests are exact (no float rounding).
+func randGMR(r *rand.Rand, schema types.Schema, n int) *GMR {
+	g := New(schema)
+	for i := 0; i < n; i++ {
+		t := make(types.Tuple, len(schema))
+		for j := range t {
+			t[j] = types.Int(int64(r.Intn(5)))
+		}
+		g.Add(t, float64(r.Intn(7)-3))
+	}
+	return g
+}
+
+func TestRingLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	schemaA := types.Schema{"a", "b"}
+	schemaB := types.Schema{"b", "c"}
+	for i := 0; i < 50; i++ {
+		x := randGMR(r, schemaA, 6)
+		y := randGMR(r, schemaA, 6)
+		z := randGMR(r, schemaB, 6)
+
+		// Commutativity of +
+		if !Equal(AddGMR(x, y), AddGMR(y, x), 1e-9) {
+			t.Fatal("+ not commutative")
+		}
+		// Additive inverse
+		if AddGMR(x, Negate(x)).Len() != 0 {
+			t.Fatal("x + (-x) should be empty")
+		}
+		// Distributivity: (x + y) * z == x*z + y*z
+		left := Join(AddGMR(x, y), z)
+		right := AddGMR(Join(x, z), Join(y, z))
+		if !Equal(left, right, 1e-9) {
+			t.Fatalf("distributivity violated:\n left=%v\nright=%v", left, right)
+		}
+		// Projection is linear: Project(x+y) == Project(x)+Project(y)
+		pl := Project(AddGMR(x, y), types.Schema{"b"})
+		pr := AddGMR(Project(x, types.Schema{"b"}), Project(y, types.Schema{"b"}))
+		if !Equal(pl, pr, 1e-9) {
+			t.Fatal("projection not linear")
+		}
+	}
+}
+
+func TestJoinCommutativeUpToSchema(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randGMR(r, types.Schema{"a", "b"}, 5)
+		z := randGMR(r, types.Schema{"b", "c"}, 5)
+		xz := Join(x, z)
+		zx := Join(z, x)
+		// Same content when both are projected onto a common column order.
+		cols := types.Schema{"a", "b", "c"}
+		return Equal(Project(xz, cols), Project(zx, cols), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemSizeGrows(t *testing.T) {
+	g := New(types.Schema{"a"})
+	before := g.MemSize()
+	for i := 0; i < 100; i++ {
+		g.Add(tup(int64(i)), 1)
+	}
+	if g.MemSize() <= before {
+		t.Error("MemSize should grow with entries")
+	}
+}
+
+func TestAddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity mismatch")
+		}
+	}()
+	g := New(types.Schema{"a", "b"})
+	g.Add(tup(1), 1)
+}

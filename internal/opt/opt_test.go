@@ -1,0 +1,320 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.Int(v)
+	}
+	return t
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	cases := []struct {
+		in   agca.Expr
+		want string
+	}{
+		{agca.Mul(agca.R("R", "A"), agca.One), "R(A)"},
+		{agca.Mul(agca.R("R", "A"), agca.Zero), "0"},
+		{agca.Add(agca.R("R", "A"), agca.Zero), "R(A)"},
+		{agca.Add(agca.Zero, agca.Zero), "0"},
+		{agca.Mul(agca.C(2), agca.C(3), agca.V("x")), "(6 * x)"},
+		{agca.Add(agca.C(2), agca.C(3)), "5"},
+		{agca.Neg{E: agca.Neg{E: agca.V("x")}}, "x"},
+		{agca.Neg{E: agca.C(4)}, "-4"},
+		{agca.Lt(agca.C(1), agca.C(2)), "1"},
+		{agca.Gt(agca.C(1), agca.C(2)), "0"},
+		{agca.SumOver([]string{"A"}, agca.Zero), "0"},
+		{agca.Mul(agca.Neg{E: agca.V("x")}, agca.V("y")), "(-1 * x * y)"},
+	}
+	for _, c := range cases {
+		got := agca.String(Simplify(c.in))
+		if got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", agca.String(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSimplifyNestedAggSum(t *testing.T) {
+	inner := agca.SumOver([]string{"A", "B"}, agca.R("R", "A", "B"))
+	outer := agca.SumOver([]string{"A"}, inner)
+	got := Simplify(outer)
+	if agca.String(got) != "Sum[A](R(A,B))" {
+		t.Errorf("nested AggSum collapse = %s", agca.String(got))
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	e := agca.Add(
+		agca.Mul(agca.C(2), agca.R("R", "A"), agca.One),
+		agca.Neg{E: agca.Mul(agca.Zero, agca.R("S", "B"))},
+	)
+	once := Simplify(e)
+	twice := Simplify(once)
+	if agca.String(once) != agca.String(twice) {
+		t.Errorf("Simplify not idempotent: %s vs %s", agca.String(once), agca.String(twice))
+	}
+}
+
+func TestExpandPolynomial(t *testing.T) {
+	// (a + b) * c expands to a*c + b*c.
+	e := agca.Mul(agca.Add(agca.V("a"), agca.V("b")), agca.V("c"))
+	terms := ExpandPolynomial(e)
+	if len(terms) != 2 {
+		t.Fatalf("expected 2 monomials, got %d: %v", len(terms), terms)
+	}
+	// AggSum distributes over the expansion.
+	e2 := agca.SumOver([]string{"x"}, agca.Mul(agca.R("R", "x"), agca.Add(agca.V("a"), agca.Neg{E: agca.V("b")})))
+	terms2 := ExpandPolynomial(e2)
+	if len(terms2) != 2 {
+		t.Fatalf("expected 2 monomials under AggSum, got %d", len(terms2))
+	}
+	for _, m := range terms2 {
+		if _, ok := m.(agca.AggSum); !ok {
+			t.Fatalf("each monomial should keep its AggSum wrapper: %s", agca.String(m))
+		}
+	}
+	// Zero terms disappear.
+	if got := ExpandPolynomial(agca.Mul(agca.Zero, agca.R("R", "x"))); len(got) != 0 {
+		t.Fatalf("zero product should expand to nothing, got %v", got)
+	}
+}
+
+func TestExpandPreservesSemantics(t *testing.T) {
+	r := gmr.New(types.Schema{"A", "B"})
+	r.Add(it(1, 2), 1)
+	r.Add(it(3, 4), 2)
+	s := gmr.New(types.Schema{"B"})
+	s.Add(it(2), 1)
+	s.Add(it(4), 3)
+	u := gmr.New(types.Schema{"B"})
+	u.Add(it(2), 5)
+	db := agca.MapDB{"R": r, "S": s, "U": u}
+	q := agca.SumOver(nil, agca.Mul(
+		agca.R("R", "a", "b"),
+		agca.Add(agca.R("S", "b"), agca.R("U", "b")),
+		agca.V("a")))
+	want := agca.Eval(q, db, types.Env{}).ScalarValue()
+	terms := ExpandPolynomial(q)
+	got := 0.0
+	for _, m := range terms {
+		got += agca.Eval(m, db, types.Env{}).ScalarValue()
+	}
+	if got != want {
+		t.Fatalf("expansion changed semantics: %v vs %v", got, want)
+	}
+}
+
+func TestFactorsAndRebuild(t *testing.T) {
+	e := agca.SumOver([]string{"A"}, agca.Neg{E: agca.Mul(agca.R("R", "A"), agca.V("x"))})
+	gb, neg, fs := Factors(e)
+	if len(gb) != 1 || !neg || len(fs) != 2 {
+		t.Fatalf("Factors = %v %v %v", gb, neg, fs)
+	}
+	rb := Rebuild(gb, neg, fs)
+	if agca.String(rb) != agca.String(e) {
+		t.Fatalf("Rebuild mismatch: %s vs %s", agca.String(rb), agca.String(e))
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	// 2*R(A) + 3*R(A) -> 5*R(A)
+	e := agca.Sum{Terms: []agca.Expr{
+		agca.Mul(agca.C(2), agca.R("R", "A")),
+		agca.Mul(agca.C(3), agca.R("R", "A")),
+	}}
+	got := Factorize(e)
+	if agca.String(Simplify(got)) != "(5 * R(A))" {
+		t.Fatalf("Factorize = %s", agca.String(got))
+	}
+	// R(A) - R(A) -> 0
+	e2 := agca.Sum{Terms: []agca.Expr{agca.R("R", "A"), agca.Neg{E: agca.R("R", "A")}}}
+	if !agca.IsZero(Factorize(e2)) {
+		t.Fatalf("Factorize(R - R) = %s", agca.String(Factorize(e2)))
+	}
+}
+
+func TestUnifyJoinEquality(t *testing.T) {
+	// R(a,b) * S(c,d) * (b = c) should become a natural join on one variable.
+	factors := []agca.Expr{
+		agca.R("R", "a", "b"),
+		agca.R("S", "c", "d"),
+		agca.Eq(agca.V("b"), agca.V("c")),
+	}
+	res := UnifyMonomial(factors, agca.NewVarSet("a", "d"), agca.VarSet{})
+	if len(res.Factors) != 2 {
+		t.Fatalf("equality should be eliminated: %v", res.Factors)
+	}
+	joined := agca.Mul(res.Factors...)
+	out := agca.OutputVars(joined, agca.VarSet{})
+	if len(out) != 3 {
+		t.Fatalf("natural join should have 3 columns, got %v", out)
+	}
+}
+
+func TestUnifyLiftOfTriggerVar(t *testing.T) {
+	// (A := x_t) * R(A,B) * A with A unprotected: A is replaced by x_t.
+	factors := []agca.Expr{
+		agca.LiftE("A", agca.V("x_t")),
+		agca.R("R", "A", "B"),
+		agca.V("A"),
+	}
+	res := UnifyMonomial(factors, agca.NewVarSet("B"), agca.NewVarSet("x_t"))
+	if len(res.Factors) != 2 {
+		t.Fatalf("lift should be propagated away: %v", res.Factors)
+	}
+	if res.ApplyTo("A") != "x_t" {
+		t.Fatalf("substitution should map A to x_t, got %q", res.ApplyTo("A"))
+	}
+	for _, f := range res.Factors {
+		if agca.AllVars(f)["A"] {
+			t.Fatalf("A should no longer occur: %s", agca.String(f))
+		}
+	}
+}
+
+func TestUnifyProtectedVariableRecorded(t *testing.T) {
+	// A protected variable may be renamed onto another produced variable, but
+	// only if the substitution is recorded so callers can rewrite their keys.
+	factors := []agca.Expr{
+		agca.R("R", "a"),
+		agca.R("S", "b"),
+		agca.Eq(agca.V("a"), agca.V("b")),
+	}
+	res := UnifyMonomial(factors, agca.NewVarSet("a", "b"), agca.VarSet{})
+	if len(res.Factors) != 2 {
+		t.Fatalf("equality between produced variables should unify: %v", res.Factors)
+	}
+	renamed := res.ApplyTo("a") != "a" || res.ApplyTo("b") != "b"
+	if !renamed {
+		t.Fatalf("expected a recorded substitution, got %v", res.Subst)
+	}
+	// The surviving name must be produced by the joined factors.
+	out := agca.OutputVars(agca.Mul(res.Factors...), agca.VarSet{})
+	if !out.Contains(res.ApplyTo("a")) || !out.Contains(res.ApplyTo("b")) {
+		t.Fatalf("substituted names must remain outputs: %v vs %v", res.Subst, out)
+	}
+}
+
+func TestUnifyInputVariableEqualityKept(t *testing.T) {
+	// Neither side has a runtime value (both are correlation parameters): the
+	// comparison must stay.
+	factors := []agca.Expr{
+		agca.R("R", "x"),
+		agca.Eq(agca.V("a"), agca.V("b")),
+	}
+	res := UnifyMonomial(factors, agca.VarSet{}, agca.VarSet{})
+	if len(res.Factors) != 2 {
+		t.Fatalf("equality over unbound parameters must remain: %v", res.Factors)
+	}
+}
+
+func TestUnifyConstEqualityBecomesLift(t *testing.T) {
+	factors := []agca.Expr{
+		agca.R("N", "name", "key"),
+		agca.Eq(agca.V("name"), agca.CS("GERMANY")),
+	}
+	res := UnifyMonomial(factors, agca.NewVarSet("key"), agca.VarSet{})
+	foundLift := false
+	for _, f := range res.Factors {
+		if l, ok := f.(agca.Lift); ok && l.Var == "name" {
+			foundLift = true
+		}
+	}
+	if !foundLift {
+		t.Fatalf("constant equality should become an assignment: %v", res.Factors)
+	}
+}
+
+func TestUnifyPreservesSemantics(t *testing.T) {
+	r := gmr.New(types.Schema{"A", "B"})
+	r.Add(it(1, 2), 1)
+	r.Add(it(3, 4), 2)
+	s := gmr.New(types.Schema{"C", "D"})
+	s.Add(it(2, 5), 1)
+	s.Add(it(4, 6), 1)
+	db := agca.MapDB{"R": r, "S": s}
+	factors := []agca.Expr{
+		agca.R("R", "a", "b"),
+		agca.R("S", "c", "d"),
+		agca.Eq(agca.V("b"), agca.V("c")),
+		agca.V("a"), agca.V("d"),
+	}
+	orig := agca.SumOver(nil, agca.Mul(factors...))
+	res := UnifyMonomial(factors, agca.VarSet{}, agca.VarSet{})
+	rewritten := agca.SumOver(nil, agca.Mul(res.Factors...))
+	a := agca.Eval(orig, db, types.Env{}).ScalarValue()
+	b := agca.Eval(rewritten, db, types.Env{}).ScalarValue()
+	if a != b {
+		t.Fatalf("unification changed semantics: %v vs %v", a, b)
+	}
+}
+
+func TestOrderFactorsBindsBeforeUse(t *testing.T) {
+	// A comparison placed before the relations that bind its variables must
+	// be moved after them.
+	factors := []agca.Expr{
+		agca.Lt(agca.V("b"), agca.V("c")),
+		agca.R("S", "c"),
+		agca.R("R", "a", "b"),
+	}
+	ordered := OrderFactors(factors, agca.VarSet{})
+	q := agca.Mul(ordered...)
+	if in := agca.InputVars(q, agca.VarSet{}); len(in) != 0 {
+		t.Fatalf("ordered product still has input vars %v: %s", in.Sorted(), agca.String(q))
+	}
+}
+
+func TestOrderFactorsPrefersBoundProbe(t *testing.T) {
+	// With x_t bound, the lift and the probe on R should come before S.
+	factors := []agca.Expr{
+		agca.R("S", "c", "d"),
+		agca.R("R", "a", "b"),
+		agca.LiftE("a", agca.V("x_t")),
+	}
+	ordered := OrderFactors(factors, agca.NewVarSet("x_t"))
+	if _, ok := ordered[0].(agca.Lift); !ok {
+		t.Fatalf("lift should be scheduled first: %v", agca.String(agca.Mul(ordered...)))
+	}
+	if r, ok := ordered[1].(agca.Rel); !ok || r.Name != "R" {
+		t.Fatalf("probe on R should precede scan of S: %s", agca.String(agca.Mul(ordered...)))
+	}
+}
+
+func TestNormalizeOrderPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		r := gmr.New(types.Schema{"A", "B"})
+		s := gmr.New(types.Schema{"B", "C"})
+		for i := 0; i < 6; i++ {
+			r.Add(it(int64(rng.Intn(3)), int64(rng.Intn(3))), 1)
+			s.Add(it(int64(rng.Intn(3)), int64(rng.Intn(4))), 1)
+		}
+		db := agca.MapDB{"R": r, "S": s}
+		q := agca.SumOver([]string{"b"}, agca.Mul(
+			agca.Lt(agca.V("c"), agca.C(3)),
+			agca.R("R", "a", "b"),
+			agca.R("S", "b", "c"),
+			agca.V("a")))
+		normalized := NormalizeOrder(q, agca.VarSet{})
+		got := agca.Eval(normalized, db, types.Env{})
+		// Reference: evaluate with a manually correct order.
+		ref := agca.SumOver([]string{"b"}, agca.Mul(
+			agca.R("R", "a", "b"),
+			agca.R("S", "b", "c"),
+			agca.Lt(agca.V("c"), agca.C(3)),
+			agca.V("a")))
+		want := agca.Eval(ref, db, types.Env{})
+		if !gmr.Equal(got, want, 1e-9) {
+			t.Fatalf("NormalizeOrder changed semantics:\n got %v\nwant %v", got, want)
+		}
+	}
+}

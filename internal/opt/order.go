@@ -1,0 +1,159 @@
+package opt
+
+import (
+	"dbtoaster/internal/agca"
+)
+
+// OrderFactors reorders the factors of a monomial so that the interpreter's
+// left-to-right sideways-binding evaluation is both correct (no factor is
+// evaluated before its parameters are bound) and efficient (cheap binding
+// factors and filters run before joins, relation atoms are probed with as
+// many bound keys as possible).
+func OrderFactors(factors []agca.Expr, bound agca.VarSet) []agca.Expr {
+	remaining := make([]agca.Expr, len(factors))
+	copy(remaining, factors)
+	cur := bound.Clone()
+	out := make([]agca.Expr, 0, len(factors))
+
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1
+		for i, f := range remaining {
+			score, ok := factorScore(f, cur)
+			if !ok {
+				continue
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			// No factor is fully parameterized; fall back to the original
+			// order for the rest (the expression has genuine input variables
+			// that the caller binds at evaluation time).
+			out = append(out, remaining...)
+			break
+		}
+		chosen := remaining[best]
+		out = append(out, chosen)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		cur.AddAll(agca.OutputVars(chosen, cur))
+	}
+	return out
+}
+
+// factorScore rates a factor for scheduling under the current bound set. The
+// boolean is false when the factor's parameters are not yet bound.
+func factorScore(f agca.Expr, bound agca.VarSet) (int, bool) {
+	inputsReady := len(agca.InputVars(f, bound)) == 0
+	switch n := f.(type) {
+	case agca.Lift:
+		if !inputsReady || !scalarOperandsBound(n.E, bound) {
+			return 0, false
+		}
+		if agca.HasRelOrMap(n.E) {
+			return 10, true // nested aggregate: evaluable but not free
+		}
+		return 100, true // cheap binding (constant / trigger argument)
+	case agca.Cmp, agca.Var, agca.Const, agca.Func, agca.Div:
+		if !inputsReady || !scalarOperandsBound(f, bound) {
+			return 0, false
+		}
+		return 90, true // filters and value factors prune early
+	case agca.Rel, agca.MapRef:
+		// Atoms are always evaluable; prefer those with more bound keys.
+		var keys []string
+		if r, ok := n.(agca.Rel); ok {
+			keys = r.Vars
+		} else {
+			keys = n.(agca.MapRef).Keys
+		}
+		boundKeys := 0
+		for _, k := range keys {
+			if bound[k] {
+				boundKeys++
+			}
+		}
+		if len(keys) > 0 && boundKeys == len(keys) {
+			return 80, true // fully-bound lookup
+		}
+		return 20 + boundKeys, true
+	default:
+		if !inputsReady {
+			return 0, false
+		}
+		return 5, true
+	}
+}
+
+// scalarOperandsBound reports whether a factor used in scalar context (a
+// comparison, division, function, or lift body) can be evaluated under the
+// given bound set: any correlated subquery among its operands must have all
+// of its output variables bound, because its value is the multiplicity of the
+// single consistent group.
+func scalarOperandsBound(f agca.Expr, bound agca.VarSet) bool {
+	var operands []agca.Expr
+	switch n := f.(type) {
+	case agca.Cmp:
+		operands = []agca.Expr{n.L, n.R}
+	case agca.Div:
+		operands = []agca.Expr{n.L, n.R}
+	case agca.Func:
+		operands = n.Args
+	default:
+		operands = []agca.Expr{f}
+	}
+	for _, op := range operands {
+		if !agca.HasRelOrMap(op) {
+			continue
+		}
+		for _, v := range agca.OutputVars(op, bound) {
+			if !bound[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NormalizeOrder applies OrderFactors to every product in the expression,
+// threading the binding context top-down (bound holds the variables provided
+// by the evaluation environment, e.g. trigger arguments).
+func NormalizeOrder(e agca.Expr, bound agca.VarSet) agca.Expr {
+	switch n := e.(type) {
+	case agca.Prod:
+		ordered := OrderFactors(n.Factors, bound)
+		cur := bound.Clone()
+		out := make([]agca.Expr, len(ordered))
+		for i, f := range ordered {
+			out[i] = NormalizeOrder(f, cur)
+			cur.AddAll(agca.OutputVars(f, cur))
+		}
+		return agca.Prod{Factors: out}
+	case agca.Sum:
+		out := make([]agca.Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			out[i] = NormalizeOrder(t, bound)
+		}
+		return agca.Sum{Terms: out}
+	case agca.Neg:
+		return agca.Neg{E: NormalizeOrder(n.E, bound)}
+	case agca.Exists:
+		return agca.Exists{E: NormalizeOrder(n.E, bound)}
+	case agca.AggSum:
+		return agca.AggSum{GroupBy: n.GroupBy, E: NormalizeOrder(n.E, bound)}
+	case agca.Lift:
+		return agca.Lift{Var: n.Var, E: NormalizeOrder(n.E, bound)}
+	case agca.Cmp:
+		return agca.Cmp{Op: n.Op, L: NormalizeOrder(n.L, bound), R: NormalizeOrder(n.R, bound)}
+	case agca.Div:
+		return agca.Div{L: NormalizeOrder(n.L, bound), R: NormalizeOrder(n.R, bound)}
+	case agca.Func:
+		args := make([]agca.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = NormalizeOrder(a, bound)
+		}
+		return agca.Func{Name: n.Name, Args: args}
+	default:
+		return e
+	}
+}

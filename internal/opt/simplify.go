@@ -1,0 +1,204 @@
+// Package opt implements the AGCA expression simplifications of paper §5.3
+// (partial evaluation, algebraic identities, unification of equalities into
+// assignments, assignment propagation) together with polynomial expansion and
+// the factor ordering the interpreter needs for sideways binding.
+package opt
+
+import (
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/types"
+)
+
+// Simplify applies algebraic identities and partial evaluation bottom-up:
+// Q*1 = Q, Q*0 = 0, Q+0 = Q, constant folding of products/sums/comparisons of
+// constants, double negation elimination, and collapsing of nested AggSums.
+// It is idempotent.
+func Simplify(e agca.Expr) agca.Expr {
+	return agca.Transform(e, simplifyNode)
+}
+
+func simplifyNode(e agca.Expr) agca.Expr {
+	switch n := e.(type) {
+	case agca.Prod:
+		return simplifyProd(n)
+	case agca.Sum:
+		return simplifySum(n)
+	case agca.Neg:
+		return simplifyNeg(n)
+	case agca.Cmp:
+		if l, ok := n.L.(agca.Const); ok {
+			if r, ok := n.R.(agca.Const); ok {
+				if cmpConst(n.Op, l.V, r.V) {
+					return agca.One
+				}
+				return agca.Zero
+			}
+		}
+		return n
+	case agca.AggSum:
+		return simplifyAggSum(n)
+	case agca.Lift:
+		return n
+	default:
+		return e
+	}
+}
+
+func cmpConst(op agca.CmpOp, l, r types.Value) bool {
+	c := types.Compare(l, r)
+	switch op {
+	case agca.OpEq:
+		return c == 0
+	case agca.OpNe:
+		return c != 0
+	case agca.OpLt:
+		return c < 0
+	case agca.OpLe:
+		return c <= 0
+	case agca.OpGt:
+		return c > 0
+	case agca.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func simplifyProd(n agca.Prod) agca.Expr {
+	coeff := 1.0
+	coeffInt := true
+	factors := make([]agca.Expr, 0, len(n.Factors))
+	for _, f := range n.Factors {
+		switch x := f.(type) {
+		case agca.Const:
+			if !x.V.IsNumeric() {
+				factors = append(factors, f)
+				continue
+			}
+			if x.V.AsFloat() == 0 {
+				return agca.Zero
+			}
+			coeff *= x.V.AsFloat()
+			if x.V.Kind() == types.KindFloat {
+				coeffInt = false
+			}
+		case agca.Prod:
+			factors = append(factors, x.Factors...)
+		case agca.Neg:
+			coeff = -coeff
+			if agca.IsZero(x.E) {
+				return agca.Zero
+			}
+			factors = append(factors, x.E)
+		default:
+			factors = append(factors, f)
+		}
+	}
+	if coeff != 1 {
+		var c agca.Expr
+		if coeffInt && coeff == float64(int64(coeff)) {
+			c = agca.C(int64(coeff))
+		} else {
+			c = agca.CF(coeff)
+		}
+		factors = append([]agca.Expr{c}, factors...)
+	}
+	switch len(factors) {
+	case 0:
+		return agca.One
+	case 1:
+		return factors[0]
+	default:
+		return agca.Prod{Factors: factors}
+	}
+}
+
+func simplifySum(n agca.Sum) agca.Expr {
+	coeff := 0.0
+	coeffInt := true
+	hasConst := false
+	terms := make([]agca.Expr, 0, len(n.Terms))
+	for _, t := range n.Terms {
+		switch x := t.(type) {
+		case agca.Const:
+			if !x.V.IsNumeric() {
+				terms = append(terms, t)
+				continue
+			}
+			if x.V.AsFloat() == 0 {
+				continue
+			}
+			hasConst = true
+			coeff += x.V.AsFloat()
+			if x.V.Kind() == types.KindFloat {
+				coeffInt = false
+			}
+		case agca.Sum:
+			terms = append(terms, x.Terms...)
+		default:
+			terms = append(terms, t)
+		}
+	}
+	if hasConst && coeff != 0 {
+		if coeffInt && coeff == float64(int64(coeff)) {
+			terms = append(terms, agca.C(int64(coeff)))
+		} else {
+			terms = append(terms, agca.CF(coeff))
+		}
+	}
+	switch len(terms) {
+	case 0:
+		return agca.Zero
+	case 1:
+		return terms[0]
+	default:
+		return agca.Sum{Terms: terms}
+	}
+}
+
+func simplifyNeg(n agca.Neg) agca.Expr {
+	switch x := n.E.(type) {
+	case agca.Const:
+		if x.V.IsNumeric() {
+			return agca.Const{V: types.Neg(x.V)}
+		}
+	case agca.Neg:
+		return x.E
+	}
+	if agca.IsZero(n.E) {
+		return agca.Zero
+	}
+	return n
+}
+
+func simplifyAggSum(n agca.AggSum) agca.Expr {
+	if agca.IsZero(n.E) {
+		return agca.Zero
+	}
+	// Sum[A](Sum[B](Q)) == Sum[A](Q) when A ⊆ B.
+	if inner, ok := n.E.(agca.AggSum); ok {
+		subset := true
+		innerGB := types.Schema(inner.GroupBy)
+		for _, g := range n.GroupBy {
+			if !innerGB.Contains(g) {
+				subset = false
+				break
+			}
+		}
+		if subset {
+			return agca.AggSum{GroupBy: n.GroupBy, E: inner.E}
+		}
+	}
+	// Sum[A](Q) == Q when Q's outputs are exactly A (no collapsing happens)
+	// and Q is a single atom; keep the wrapper otherwise for clarity.
+	if r, ok := n.E.(agca.Rel); ok {
+		if types.Schema(n.GroupBy).Equal(agca.OutputVars(r, agca.VarSet{})) {
+			return n.E
+		}
+	}
+	if r, ok := n.E.(agca.MapRef); ok {
+		if types.Schema(n.GroupBy).Equal(agca.OutputVars(r, agca.VarSet{})) {
+			return n.E
+		}
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+// Package trigger defines the trigger-program intermediate representation
+// produced by the compiler (paper §7.1): a set of materialized map
+// definitions and, for every update event ±R, a list of update statements
+// that keep those maps fresh.
+package trigger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbtoaster/internal/agca"
+)
+
+// StmtKind distinguishes incremental updates from full replacement.
+type StmtKind uint8
+
+const (
+	// StmtIncrement is "foreach keys: M[keys] += RHS".
+	StmtIncrement StmtKind = iota
+	// StmtReplace is "M := RHS": the map contents are recomputed from the
+	// right-hand side (the paper's re-evaluation strategy).
+	StmtReplace
+)
+
+// Statement is a single view-maintenance statement inside a trigger.
+type Statement struct {
+	TargetMap  string
+	TargetKeys []string
+	Kind       StmtKind
+	RHS        agca.Expr
+	// Depth is the recursion depth of the target map (0 = the query result);
+	// it drives the execution order inside a trigger so that shallower maps
+	// read the old versions of deeper maps.
+	Depth int
+}
+
+// String renders the statement in the paper's notation.
+func (s Statement) String() string {
+	op := "+="
+	if s.Kind == StmtReplace {
+		op = ":="
+	}
+	return fmt.Sprintf("%s[%s] %s %s", s.TargetMap, strings.Join(s.TargetKeys, ","), op, agca.String(s.RHS))
+}
+
+// Trigger is the maintenance code executed when one tuple is inserted into or
+// deleted from Relation. Args names the trigger variables bound to the
+// tuple's column values.
+type Trigger struct {
+	Relation string
+	Insert   bool
+	Args     []string
+	Stmts    []Statement
+}
+
+// Key identifies the trigger's event.
+func (t Trigger) Key() string {
+	if t.Insert {
+		return "+" + t.Relation
+	}
+	return "-" + t.Relation
+}
+
+// MapDef declares a materialized view: its key variables (the map's schema)
+// and its defining AGCA expression over the base relations. Definition is
+// used for duplicate-view elimination, re-evaluation statements and initial
+// computation over preloaded static tables.
+type MapDef struct {
+	Name       string
+	Keys       []string
+	Definition agca.Expr
+	Depth      int
+	// IsBaseTable marks maps that simply mirror a base relation.
+	IsBaseTable bool
+	BaseRel     string
+}
+
+// Program is a compiled trigger program.
+type Program struct {
+	QueryName  string
+	ResultMap  string
+	ResultKeys []string
+	Maps       []MapDef
+	Triggers   []Trigger
+	// Relations maps every dynamic base relation to its column names.
+	Relations map[string][]string
+	// StaticRelations lists relations treated as static (loaded once, never
+	// updated by triggers), as the paper does for Nation/Region.
+	StaticRelations []string
+}
+
+// MapByName returns the definition of the named map.
+func (p *Program) MapByName(name string) (MapDef, bool) {
+	for _, m := range p.Maps {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MapDef{}, false
+}
+
+// TriggerFor returns the trigger for the given event, if any.
+func (p *Program) TriggerFor(relation string, insert bool) (Trigger, bool) {
+	for _, t := range p.Triggers {
+		if t.Relation == relation && t.Insert == insert {
+			return t, true
+		}
+	}
+	return Trigger{}, false
+}
+
+// SortStatements orders every trigger's statements for correct execution:
+// incremental statements run shallow-first (so that they read the old values
+// of deeper auxiliary maps), base-table maintenance runs next, and
+// replacement (re-evaluation) statements run last, deepest-first, so that
+// they see the new values of the maps they are rebuilt from.
+func (p *Program) SortStatements() {
+	baseRels := map[string]bool{}
+	for _, m := range p.Maps {
+		if m.IsBaseTable {
+			baseRels[m.Name] = true
+		}
+	}
+	for ti := range p.Triggers {
+		stmts := p.Triggers[ti].Stmts
+		sort.SliceStable(stmts, func(i, j int) bool {
+			return stmtClass(stmts[i], baseRels) < stmtClass(stmts[j], baseRels)
+		})
+	}
+}
+
+// stmtClass computes the ordering key for a statement: incremental
+// statements by ascending depth, then base-table updates, then replacements
+// by descending depth.
+func stmtClass(s Statement, baseRels map[string]bool) int {
+	const band = 1000
+	if s.Kind == StmtIncrement {
+		if baseRels[s.TargetMap] {
+			return 1*band + s.Depth
+		}
+		return s.Depth
+	}
+	return 2*band + (band - s.Depth)
+}
+
+// String renders the full program (maps then triggers), matching the style
+// of the paper's Figure 3/4 listings.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- program %s (result %s[%s])\n", p.QueryName, p.ResultMap, strings.Join(p.ResultKeys, ","))
+	b.WriteString("-- maps:\n")
+	for _, m := range p.Maps {
+		fmt.Fprintf(&b, "  %s[%s] := %s\n", m.Name, strings.Join(m.Keys, ","), agca.String(m.Definition))
+	}
+	for _, t := range p.Triggers {
+		sign := "insert into"
+		if !t.Insert {
+			sign = "delete from"
+		}
+		fmt.Fprintf(&b, "on %s %s (%s):\n", sign, t.Relation, strings.Join(t.Args, ","))
+		for _, s := range t.Stmts {
+			fmt.Fprintf(&b, "  %s\n", s.String())
+		}
+	}
+	return b.String()
+}
+
+// Stats summarizes the program size (used by the Figure 2 experiment).
+type Stats struct {
+	NumMaps       int
+	NumBaseTables int
+	NumTriggers   int
+	NumStatements int
+	NumReevals    int
+	MaxDepth      int
+}
+
+// ComputeStats returns size statistics for the program.
+func (p *Program) ComputeStats() Stats {
+	st := Stats{NumMaps: len(p.Maps), NumTriggers: len(p.Triggers)}
+	for _, m := range p.Maps {
+		if m.IsBaseTable {
+			st.NumBaseTables++
+		}
+		if m.Depth > st.MaxDepth {
+			st.MaxDepth = m.Depth
+		}
+	}
+	for _, t := range p.Triggers {
+		st.NumStatements += len(t.Stmts)
+		for _, s := range t.Stmts {
+			if s.Kind == StmtReplace {
+				st.NumReevals++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,304 @@
+// Package types defines the scalar value model shared by every layer of the
+// system: the data loaded into relations, the constants appearing in AGCA
+// expressions, and the keys of materialized views.
+//
+// Values are dynamically typed scalars (int64, float64, string, bool). Numeric
+// values compare and combine across int/float, matching SQL's implicit
+// coercions; the multiplicities of generalized multiset relations are handled
+// separately (see package gmr).
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is the SQL NULL-like
+// "null" value, which compares equal only to itself and coerces to 0.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	if v {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Date encodes a calendar date as the integer yyyymmdd, which preserves the
+// ordering used by the workload queries' date-range predicates.
+func Date(year, month, day int) Value {
+	return Int(int64(year)*10000 + int64(month)*100 + int64(day))
+}
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the value coerced to an int64.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindString:
+		n, _ := strconv.ParseInt(v.s, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value coerced to a float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	case KindString:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString returns the value coerced to a string.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// AsBool reports the truthiness of the value (non-zero / non-empty).
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.kind == KindString {
+		return strconv.Quote(v.s)
+	}
+	if v.kind == KindNull {
+		return "NULL"
+	}
+	return v.AsString()
+}
+
+// Equal reports whether two values are equal, with numeric coercion between
+// int and float.
+func (v Value) Equal(o Value) bool { return Compare(v, o) == 0 }
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o. Numerics
+// compare numerically across int/float; strings lexicographically; null sorts
+// before everything; mixed non-numeric kinds order by kind.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() || b.IsNumeric() || a.kind == KindBool || b.kind == KindBool {
+		af, bf := a.AsFloat(), b.AsFloat()
+		// Exact integer fast path avoids float rounding for int64 keys.
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		return strings.Compare(a.s, b.s)
+	}
+	switch {
+	case a.kind < b.kind:
+		return -1
+	case a.kind > b.kind:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns the numeric sum of two values. Integer addition is exact;
+// anything involving a float produces a float.
+func Add(a, b Value) Value {
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i + b.i)
+	}
+	return Float(a.AsFloat() + b.AsFloat())
+}
+
+// Sub returns a - b with the same coercion rules as Add.
+func Sub(a, b Value) Value {
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i - b.i)
+	}
+	return Float(a.AsFloat() - b.AsFloat())
+}
+
+// Mul returns the numeric product of two values.
+func Mul(a, b Value) Value {
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i * b.i)
+	}
+	return Float(a.AsFloat() * b.AsFloat())
+}
+
+// Div returns a / b as a float; division by zero yields 0, matching the
+// "deletable aggregate" convention used by the runtime for AVG maintenance.
+func Div(a, b Value) Value {
+	d := b.AsFloat()
+	if d == 0 {
+		return Float(0)
+	}
+	return Float(a.AsFloat() / d)
+}
+
+// Neg returns the numeric negation of v.
+func Neg(v Value) Value {
+	if v.kind == KindInt {
+		return Int(-v.i)
+	}
+	return Float(-v.AsFloat())
+}
+
+// EncodeKey appends a canonical, injective encoding of v to dst. The encoding
+// is used to build map keys for tuples; equal values (after int/float
+// coercion of integral floats) encode identically.
+func (v Value) EncodeKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindInt:
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			// Integral floats share the encoding of the equal integer so that
+			// join keys computed through float arithmetic still match.
+			dst = append(dst, 'i')
+			return strconv.AppendInt(dst, int64(v.f), 10)
+		}
+		dst = append(dst, 'f')
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+	case KindString:
+		dst = append(dst, 's')
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		return append(dst, v.s...)
+	case KindBool:
+		if v.i != 0 {
+			return append(dst, 'T')
+		}
+		return append(dst, 'F')
+	default:
+		return append(dst, '?')
+	}
+}
+
+// MemSize estimates the in-memory footprint of the value in bytes. It is used
+// for the coarse memory accounting that reproduces the paper's memory traces.
+func (v Value) MemSize() int {
+	const header = 24
+	if v.kind == KindString {
+		return header + len(v.s)
+	}
+	return header
+}

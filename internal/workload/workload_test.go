@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+func TestRegistryPopulated(t *testing.T) {
+	if len(Names("finance")) != 6 {
+		t.Errorf("finance queries = %v", Names("finance"))
+	}
+	if len(Names("tpch")) < 10 {
+		t.Errorf("tpch queries = %v", Names("tpch"))
+	}
+	if len(Names("mddb")) != 1 {
+		t.Errorf("mddb queries = %v", Names("mddb"))
+	}
+	if _, ok := Get("VWAP"); !ok {
+		t.Error("VWAP missing")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unexpected query found")
+	}
+	if len(All()) != len(Names("")) {
+		t.Error("All / Names mismatch")
+	}
+}
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a := spec.Stream(0.05, 42)
+		b := spec.Stream(0.05, 42)
+		if len(a) != len(b) {
+			t.Fatalf("%s: stream length not deterministic", spec.Name)
+		}
+		for i := range a {
+			if a[i].Relation != b[i].Relation || a[i].Insert != b[i].Insert || !a[i].Tuple.Equal(b[i].Tuple) {
+				t.Fatalf("%s: stream event %d differs between runs", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestStreamsRespectCatalogArity(t *testing.T) {
+	for _, spec := range All() {
+		events := spec.Stream(0.05, 7)
+		if len(events) == 0 {
+			t.Fatalf("%s: empty stream", spec.Name)
+		}
+		for _, ev := range events {
+			cols, err := spec.Catalog.Columns(ev.Relation)
+			if err != nil {
+				t.Fatalf("%s: stream touches unknown relation %s", spec.Name, ev.Relation)
+			}
+			if len(cols) != len(ev.Tuple) {
+				t.Fatalf("%s: event on %s has %d values, schema has %d columns",
+					spec.Name, ev.Relation, len(ev.Tuple), len(cols))
+			}
+		}
+	}
+}
+
+func TestQueriesCompileInAllModes(t *testing.T) {
+	modes := []compiler.Mode{compiler.ModeDBToaster, compiler.ModeIVM, compiler.ModeREP, compiler.ModeNaive}
+	for _, spec := range All() {
+		for _, mode := range modes {
+			if _, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(mode)); err != nil {
+				t.Errorf("%s (%s): %v", spec.Name, mode, err)
+			}
+		}
+	}
+}
+
+// TestWorkloadCorrectnessAgainstOracle replays a short prefix of every
+// workload stream through the DBToaster and IVM compilations and checks the
+// maintained view against a from-scratch evaluation at regular intervals.
+func TestWorkloadCorrectnessAgainstOracle(t *testing.T) {
+	modes := []compiler.Mode{compiler.ModeDBToaster, compiler.ModeIVM}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			// Expensive queries (the paper's own worst cases, §9.1) are
+			// checked on a shorter prefix to keep the oracle comparison fast.
+			caps := map[string]int{"MST": 30, "VWAP": 90, "PSP": 90, "BSP": 140, "AXF": 140, "BSV": 140, "MDDB1": 150}
+			limit := 250
+			if c, ok := caps[spec.Name]; ok {
+				limit = c
+			}
+			events := spec.Stream(0.03, 11)
+			if len(events) > limit {
+				events = events[:limit]
+			}
+			statics := spec.Statics()
+
+			// Oracle database.
+			oracleDB := agca.MapDB{}
+			for _, r := range spec.Catalog.Relations() {
+				oracleDB[r.Name] = gmr.New(types.Schema(r.Columns))
+			}
+			for name, data := range statics {
+				oracleDB[name] = data
+			}
+
+			for _, mode := range modes {
+				prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(mode))
+				if err != nil {
+					t.Fatalf("%s compile: %v", mode, err)
+				}
+				eng := engine.New(prog)
+				for name, data := range statics {
+					eng.LoadStatic(name, data)
+				}
+				if err := eng.Init(); err != nil {
+					t.Fatalf("%s init: %v", mode, err)
+				}
+				odb := agca.MapDB{}
+				for k, v := range oracleDB {
+					odb[k] = v.Clone()
+				}
+				checkEvery := len(events)/5 + 1
+				for i, ev := range events {
+					if err := eng.Apply(ev); err != nil {
+						t.Fatalf("%s event %d: %v", mode, i, err)
+					}
+					m := 1.0
+					if !ev.Insert {
+						m = -1
+					}
+					odb[ev.Relation].Add(ev.Tuple, m)
+					if i%checkEvery != 0 && i != len(events)-1 {
+						continue
+					}
+					want := agca.Eval(spec.Query.Expr, odb, types.Env{})
+					got := eng.Result()
+					aligned := want
+					if !got.Schema().Equal(want.Schema()) && len(got.Schema()) == len(want.Schema()) {
+						aligned = gmr.Project(want, got.Schema())
+					}
+					if !gmr.Equal(got, aligned, 1e-4) {
+						t.Fatalf("%s diverged at event %d:\n got  %v\n want %v", mode, i, got, aligned)
+					}
+				}
+			}
+		})
+	}
+}

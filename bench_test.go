@@ -73,6 +73,22 @@ func BenchmarkFig7FullTable(b *testing.B) {
 	b.Log("\nFigure 7 (view refreshes per second):\n" + table)
 }
 
+// --- Batched execution: refresh rate by batch size --------------------------
+
+// BenchmarkBatchSweep measures the shard-parallel batch pipeline against the
+// one-trigger-per-event baseline (batch size 1) for a representative set of
+// TPC-H queries in DBToaster mode.
+func BenchmarkBatchSweep(b *testing.B) {
+	sizes := []int{1, 16, 256}
+	opts := benchOpts()
+	var table string
+	for i := 0; i < b.N; i++ {
+		results := bench.BatchSweep([]string{"Q1", "Q3", "Q6", "Q11a", "Q12"}, sizes, opts)
+		table = bench.FormatBatchTable(results, sizes)
+	}
+	b.Log("\nBatched execution (DBToaster refreshes per second):\n" + table)
+}
+
 // --- Figures 8-10: refresh-rate and memory traces over the stream ----------
 
 func runTrace(b *testing.B, query string) {

@@ -16,14 +16,16 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features")
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput")
 	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := flag.Float64("scale", 0.25, "stream scale factor")
 	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
 	seed := flag.Int64("seed", 1, "stream generator seed")
+	batch := flag.Int("batch", 1, "events per batch window (>1 uses the shard-parallel batch pipeline)")
+	shards := flag.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget, BatchSize: *batch, Shards: *shards}
 	pick := func(def []string) []string {
 		if *queries == "" {
 			return def
@@ -68,6 +70,11 @@ func main() {
 			}
 			fmt.Print(bench.FormatScaling(q, points))
 		}
+	case "batch_throughput":
+		sizes := []int{1, 16, 256}
+		results := bench.BatchSweep(pick(workload.Names("tpch")), sizes, opts)
+		fmt.Println("Batched execution — DBToaster refreshes per second by batch size:")
+		fmt.Print(bench.FormatBatchTable(results, sizes))
 	case "fig2_features":
 		infos, err := bench.CompileAll()
 		if err != nil {

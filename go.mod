@@ -1,0 +1,3 @@
+module dbtoaster
+
+go 1.24

@@ -52,6 +52,8 @@ type Options struct {
 	Seed      int64         // stream generator seed
 	MaxEvents int           // 0 = whole stream
 	Budget    time.Duration // per-cell wall-clock budget (0 = unlimited), like the paper's replay timeout
+	BatchSize int           // events per ApplyBatch window (<= 1 replays one event at a time)
+	Shards    int           // shard workers for batched execution (0 = engine default)
 }
 
 // DefaultOptions returns a configuration suitable for quick local runs.
@@ -82,23 +84,44 @@ func Run(spec workload.Spec, sys System, opts Options) Result {
 	if opts.MaxEvents > 0 && len(events) > opts.MaxEvents {
 		events = events[:opts.MaxEvents]
 	}
+	if opts.Shards > 0 {
+		eng.SetShards(opts.Shards)
+	}
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.Budget > 0 {
 		deadline = start.Add(opts.Budget)
 	}
 	processed := 0
-	for i, ev := range events {
-		if err := eng.Apply(ev); err != nil {
-			res.Err = fmt.Errorf("event %d: %w", i, err)
-			return res
+	if opts.BatchSize > 1 {
+		// Batched replay: the stream is cut into windows and each window is
+		// applied through the engine's shard-parallel batch pipeline. The
+		// budget is checked per window.
+		for _, batch := range workload.Batches(events, opts.BatchSize) {
+			if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+				res.Err = fmt.Errorf("events %d..%d: %w", processed, processed+len(batch)-1, err)
+				return res
+			}
+			processed += len(batch)
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.TimedOut = true
+				break
+			}
 		}
-		processed++
-		// The budget is checked after every event: a single expensive update
-		// (the MST worst case) must not blow through the cell's time budget.
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.TimedOut = true
-			break
+	} else {
+		for i, ev := range events {
+			if err := eng.Apply(ev); err != nil {
+				res.Err = fmt.Errorf("event %d: %w", i, err)
+				return res
+			}
+			processed++
+			// The budget is checked after every event: a single expensive
+			// update (the MST worst case) must not blow through the cell's
+			// time budget.
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.TimedOut = true
+				break
+			}
 		}
 	}
 	res.Events = processed
@@ -155,6 +178,79 @@ func FormatRefreshTable(results []Result) string {
 			default:
 				fmt.Fprintf(&b, " %12.1f", r.RefreshRate)
 			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BatchSweep replays every query in DBToaster mode at each batch size and
+// reports the sustained refresh rate per cell, measuring (rather than
+// asserting) the speedup of the batched execution pipeline. Batch size 1 is
+// the paper's one-trigger-per-event baseline.
+func BatchSweep(queries []string, sizes []int, opts Options) []Result {
+	var out []Result
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			for _, n := range sizes {
+				out = append(out, Result{Query: q, System: fmt.Sprintf("batch=%d", n),
+					Err: fmt.Errorf("unknown query %q", q)})
+			}
+			continue
+		}
+		for _, n := range sizes {
+			o := opts
+			o.BatchSize = n
+			r := Run(spec, System{"DBToaster", compiler.ModeDBToaster}, o)
+			r.System = fmt.Sprintf("batch=%d", n)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FormatBatchTable renders the batch sweep: one row per query, one column
+// per batch size, entries in view refreshes per second, plus the speedup of
+// the largest batch size over batch size 1.
+func FormatBatchTable(results []Result, sizes []int) string {
+	byQuery := map[string]map[string]Result{}
+	var queries []string
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]Result{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.System] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Query")
+	for _, n := range sizes {
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("batch=%d", n))
+	}
+	fmt.Fprintf(&b, " %9s\n", "speedup")
+	for _, q := range queries {
+		fmt.Fprintf(&b, "%-10s", q)
+		base, last := 0.0, 0.0
+		lastOK := false
+		for i, n := range sizes {
+			r := byQuery[q][fmt.Sprintf("batch=%d", n)]
+			if r.Err != nil {
+				fmt.Fprintf(&b, " %12s", "error")
+				lastOK = false
+				continue
+			}
+			fmt.Fprintf(&b, " %12.1f", r.RefreshRate)
+			if i == 0 {
+				base = r.RefreshRate
+			}
+			last = r.RefreshRate
+			lastOK = true
+		}
+		// The speedup is largest-batch over batch-size-1; print it only when
+		// the largest batch size actually produced a rate.
+		if base > 0 && lastOK {
+			fmt.Fprintf(&b, " %8.2fx", last/base)
 		}
 		b.WriteString("\n")
 	}

@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/trigger"
+	"dbtoaster/internal/types"
+)
+
+// Batch is a window of stream events grouped by target relation. Grouping
+// preserves the relative order of events on the same relation and the
+// first-appearance order of the relations; because every trigger program
+// maintains its maps exactly, the final view contents after a window do not
+// depend on the interleaving of events on different relations, which is what
+// makes the per-relation grouping sound.
+type Batch struct {
+	groups []eventGroup
+	n      int
+}
+
+type eventGroup struct {
+	relation string
+	events   []Event
+}
+
+// NewBatch groups a window of events by relation.
+func NewBatch(events []Event) *Batch {
+	b := &Batch{n: len(events)}
+	pos := map[string]int{}
+	for _, ev := range events {
+		i, ok := pos[ev.Relation]
+		if !ok {
+			i = len(b.groups)
+			pos[ev.Relation] = i
+			b.groups = append(b.groups, eventGroup{relation: ev.Relation})
+		}
+		b.groups[i].events = append(b.groups[i].events, ev)
+	}
+	return b
+}
+
+// Len returns the number of events in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// relationPlan is the cached batch execution plan for one relation's events:
+// the conflict analysis verdict plus per-statement fast-path information.
+type relationPlan struct {
+	// batchable is true when the relation's triggers commute across a window
+	// of its events (trigger.Program.RelationBatchable) and every target map
+	// resolves to a view; otherwise ApplyBatch falls back to sequential
+	// per-event execution for the group.
+	batchable bool
+	insert    *triggerPlan
+	delete    *triggerPlan
+}
+
+type triggerPlan struct {
+	trig  *trigger.Trigger
+	stmts []stmtPlan
+}
+
+// stmtPlan precomputes everything about one statement that Apply re-derives
+// per event: the target view, where each target key comes from, and — for
+// statements whose right-hand side is a pure scalar of the trigger arguments
+// (no relation or map atoms) — the scalar expression itself, which the batch
+// path evaluates without materializing intermediate GMRs.
+type stmtPlan struct {
+	stmt   *trigger.Statement
+	target *View
+	// keyArg[i] is the trigger-argument position feeding target key i, or -1
+	// when the key must be read from a result column instead.
+	keyArg []int
+	// scalar, when non-nil, is the RHS stripped of its nullary Sum[] wrapper;
+	// it is only set when every target key comes from the arguments.
+	scalar agca.Expr
+}
+
+// planFor returns (building and caching if necessary) the batch plan for the
+// relation's events, or nil when the program has no triggers for it.
+func (e *Engine) planFor(relation string) *relationPlan {
+	if p, ok := e.plans[relation]; ok {
+		return p
+	}
+	ins := e.triggers["+"+relation]
+	del := e.triggers["-"+relation]
+	if ins == nil && del == nil {
+		e.plans[relation] = nil
+		return nil
+	}
+	p := &relationPlan{batchable: e.prog.RelationBatchable(relation)}
+	if ins != nil {
+		p.insert = e.planTrigger(ins, p)
+	}
+	if del != nil {
+		p.delete = e.planTrigger(del, p)
+	}
+	e.plans[relation] = p
+	return p
+}
+
+func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan {
+	tp := &triggerPlan{trig: t, stmts: make([]stmtPlan, len(t.Stmts))}
+	argIdx := make(map[string]int, len(t.Args))
+	for i, a := range t.Args {
+		argIdx[a] = i
+	}
+	for si := range t.Stmts {
+		s := &t.Stmts[si]
+		sp := stmtPlan{stmt: s, target: e.views[s.TargetMap], keyArg: make([]int, len(s.TargetKeys))}
+		if sp.target == nil {
+			// An unknown target map is reported per event by the sequential
+			// path; never take the batched one.
+			rp.batchable = false
+		}
+		allFromArgs := true
+		for i, k := range s.TargetKeys {
+			if j, ok := argIdx[k]; ok {
+				sp.keyArg[i] = j
+			} else {
+				sp.keyArg[i] = -1
+				allFromArgs = false
+			}
+		}
+		if allFromArgs && s.Kind == trigger.StmtIncrement {
+			rhs := s.RHS
+			if ag, ok := rhs.(agca.AggSum); ok && len(ag.GroupBy) == 0 {
+				rhs = ag.E
+			}
+			bound := agca.NewVarSet(t.Args...)
+			if !agca.HasRelOrMap(rhs) &&
+				len(agca.OutputVars(rhs, bound)) == 0 &&
+				len(agca.InputVars(rhs, bound)) == 0 {
+				sp.scalar = rhs
+			}
+		}
+		tp.stmts[si] = sp
+	}
+	return tp
+}
+
+// ApplyBatch processes a window of events. Groups whose triggers commute (no
+// statement reads a map the group writes — the common shape of the paper's
+// higher-order IVM programs, where a relation's delta queries only reference
+// maps over the other relations) are executed on the batched path: all
+// per-event deltas are computed against the group's pre-state, accumulated
+// per target view, and merged once per view across the shard worker pool.
+// Conflicting groups (replacement statements, or overlapping read/write
+// sets) fall back to sequential per-event Apply, preserving the paper's
+// one-trigger-per-event semantics exactly.
+//
+// A batched group is applied atomically: if any of its events fails, none of
+// the group's deltas are merged.
+func (e *Engine) ApplyBatch(b *Batch) error {
+	for gi := range b.groups {
+		g := &b.groups[gi]
+		plan := e.planFor(g.relation)
+		if plan == nil {
+			// Relations the query does not reference are ignored, as the
+			// paper's generated engines drop them.
+			continue
+		}
+		if !plan.batchable {
+			for i := range g.events {
+				if err := e.Apply(g.events[i]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := e.applyGroup(plan, g.events); err != nil {
+			return fmt.Errorf("engine: batch group %s: %w", g.relation, err)
+		}
+	}
+	return nil
+}
+
+// ApplyEvents is a convenience wrapper: group the events into a Batch and
+// apply it.
+func (e *Engine) ApplyEvents(events []Event) error {
+	return e.ApplyBatch(NewBatch(events))
+}
+
+// workerDeltas accumulates, per target view, the summed delta of a chunk of
+// a group's events.
+type workerDeltas map[string]*gmr.GMR
+
+func (w workerDeltas) acc(v *View) *gmr.GMR {
+	d, ok := w[v.name]
+	if !ok {
+		d = gmr.New(types.Schema(v.keys))
+		w[v.name] = d
+	}
+	return d
+}
+
+// applyGroup runs one conflict-free group: phase 1 evaluates per-event
+// deltas (in parallel chunks when more than one shard worker is configured),
+// phase 2 merges the accumulated deltas into the views, partitioned across
+// the workers by view-name hash.
+func (e *Engine) applyGroup(plan *relationPlan, events []Event) error {
+	if e.shards <= 1 || len(events) < 2*e.shards {
+		deltas, n, err := e.evalChunk(plan, events)
+		if err != nil {
+			return err
+		}
+		e.events += n
+		for name, d := range deltas {
+			e.views[name].MergeDelta(d)
+		}
+		return nil
+	}
+
+	chunks := splitChunks(events, e.shards)
+	results := make([]workerDeltas, len(chunks))
+	counts := make([]uint64, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], counts[i], errs[i] = e.evalChunk(plan, chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, n := range counts {
+		e.events += n
+	}
+	e.mergeSharded(results)
+	return nil
+}
+
+// splitChunks cuts events into at most n contiguous, near-equal chunks.
+func splitChunks(events []Event, n int) [][]Event {
+	if n > len(events) {
+		n = len(events)
+	}
+	out := make([][]Event, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(events)/n, (i+1)*len(events)/n
+		if lo < hi {
+			out = append(out, events[lo:hi])
+		}
+	}
+	return out
+}
+
+// mergeSharded applies every worker's deltas, with each view owned by
+// exactly one shard worker (chosen by name hash) so that no locking is
+// needed on the views themselves.
+func (e *Engine) mergeSharded(results []workerDeltas) {
+	var wg sync.WaitGroup
+	for s := 0; s < e.shards; s++ {
+		wg.Add(1)
+		go func(s uint32) {
+			defer wg.Done()
+			for _, wd := range results {
+				for name, d := range wd {
+					if viewShard(name)%uint32(e.shards) != s {
+						continue
+					}
+					e.views[name].MergeDelta(d)
+				}
+			}
+		}(uint32(s))
+	}
+	wg.Wait()
+}
+
+func viewShard(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// evalChunk computes the summed per-view deltas of a chunk of a group's
+// events against the engine's current (frozen) state. It returns the number
+// of events that had a matching trigger. Evaluation only reads views, so
+// chunks of the same group can run concurrently.
+func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDeltas, n uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(*agca.EvalError); ok {
+				err = ee
+				return
+			}
+			panic(r)
+		}
+	}()
+	deltas = workerDeltas{}
+	var envIns, envDel types.Env
+	for i := range events {
+		ev := &events[i]
+		var tp *triggerPlan
+		var env types.Env
+		if ev.Insert {
+			if plan.insert == nil {
+				continue
+			}
+			tp = plan.insert
+			if envIns == nil {
+				envIns = make(types.Env, len(tp.trig.Args))
+			}
+			env = envIns
+		} else {
+			if plan.delete == nil {
+				continue
+			}
+			tp = plan.delete
+			if envDel == nil {
+				envDel = make(types.Env, len(tp.trig.Args))
+			}
+			env = envDel
+		}
+		if len(tp.trig.Args) != len(ev.Tuple) {
+			return deltas, n, fmt.Errorf("event on %s carries %d values, trigger expects %d",
+				ev.Relation, len(ev.Tuple), len(tp.trig.Args))
+		}
+		// The argument names are fixed per trigger, so the same environment
+		// is reused across the chunk with values overwritten in place.
+		for j, a := range tp.trig.Args {
+			env[a] = ev.Tuple[j]
+		}
+		n++
+		for si := range tp.stmts {
+			sp := &tp.stmts[si]
+			if sp.scalar != nil {
+				m := agca.EvalScalar(sp.scalar, e, env).AsFloat()
+				if m == 0 {
+					continue
+				}
+				key := make(types.Tuple, len(sp.keyArg))
+				for k, j := range sp.keyArg {
+					key[k] = ev.Tuple[j]
+				}
+				deltas.acc(sp.target).Add(key, m)
+				continue
+			}
+			if err := e.stmtDelta(sp, env, ev, deltas.acc(sp.target)); err != nil {
+				return deltas, n, fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
+			}
+		}
+	}
+	return deltas, n, nil
+}
+
+// stmtDelta evaluates one general (non-scalar) statement for one event and
+// accumulates the resulting target-key deltas. It mirrors the key binding
+// semantics of the sequential execute path: keys bound by the trigger
+// environment win over result columns of the same name.
+func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, ev *Event, acc *gmr.GMR) error {
+	res := agca.Eval(sp.stmt.RHS, e, env)
+	schema := res.Schema()
+	cols := make([]int, len(sp.keyArg))
+	for i, j := range sp.keyArg {
+		if j >= 0 {
+			continue
+		}
+		col := schema.Index(sp.stmt.TargetKeys[i])
+		if col < 0 {
+			if res.IsEmpty() {
+				// Nothing to apply; a truncated empty result may not carry
+				// every column.
+				return nil
+			}
+			return fmt.Errorf("result lacks key column %q (schema %v)", sp.stmt.TargetKeys[i], schema)
+		}
+		cols[i] = col
+	}
+	res.Foreach(func(t types.Tuple, m float64) {
+		key := make(types.Tuple, len(sp.keyArg))
+		for i, j := range sp.keyArg {
+			if j >= 0 {
+				key[i] = ev.Tuple[j]
+			} else {
+				key[i] = t[cols[i]]
+			}
+		}
+		acc.Add(key, m)
+	})
+	return nil
+}

@@ -1,0 +1,109 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/workload"
+)
+
+// maxEquivEvents caps the replayed stream prefix so the full query × mode ×
+// batch-size matrix stays fast; seqBudget further truncates the prefix for
+// queries whose per-event cost is super-linear (MST and friends), so that
+// every batched replay works on exactly the prefix the sequential baseline
+// managed within the budget.
+const (
+	maxEquivEvents = 150
+	seqBudget      = time.Second
+)
+
+func newEngineFor(t *testing.T, spec workload.Spec, mode compiler.Mode) *engine.Engine {
+	t.Helper()
+	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(mode))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	eng := engine.New(prog)
+	for name, data := range spec.Statics() {
+		eng.LoadStatic(name, data)
+	}
+	if err := eng.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	return eng
+}
+
+// TestBatchEquivalentToSequential replays every workload query and asserts
+// that batched execution (at several batch sizes and shard counts) leaves
+// every materialized view with exactly the contents sequential per-event
+// replay produces. This is the correctness property behind the batch
+// pipeline's conflict analysis: commuting groups may be reordered and their
+// deltas summed, conflicting groups must fall back to sequential order.
+func TestBatchEquivalentToSequential(t *testing.T) {
+	modes := []struct {
+		name string
+		mode compiler.Mode
+	}{
+		{"DBToaster", compiler.ModeDBToaster},
+		{"IVM", compiler.ModeIVM},
+	}
+	for _, spec := range workload.All() {
+		for _, m := range modes {
+			t.Run(spec.Name+"/"+m.name, func(t *testing.T) {
+				events := spec.Stream(0.1, 1)
+				if len(events) > maxEquivEvents {
+					events = events[:maxEquivEvents]
+				}
+				if len(events) == 0 {
+					t.Skip("empty stream at this scale")
+				}
+
+				seq := newEngineFor(t, spec, m.mode)
+				deadline := time.Now().Add(seqBudget)
+				processed := 0
+				for i, ev := range events {
+					if err := seq.Apply(ev); err != nil {
+						t.Fatalf("sequential apply event %d: %v", i, err)
+					}
+					processed++
+					if time.Now().After(deadline) {
+						break
+					}
+				}
+				events = events[:processed]
+
+				for _, cfg := range []struct{ batch, shards int }{
+					{1, 1}, {7, 1}, {64, 1}, {7, 3}, {64, 4},
+				} {
+					t.Run(fmt.Sprintf("batch=%d,shards=%d", cfg.batch, cfg.shards), func(t *testing.T) {
+						eng := newEngineFor(t, spec, m.mode)
+						eng.SetShards(cfg.shards)
+						for start := 0; start < len(events); start += cfg.batch {
+							end := start + cfg.batch
+							if end > len(events) {
+								end = len(events)
+							}
+							if err := eng.ApplyBatch(engine.NewBatch(events[start:end])); err != nil {
+								t.Fatalf("batch apply [%d:%d]: %v", start, end, err)
+							}
+						}
+						if eng.Events() != seq.Events() {
+							t.Errorf("processed %d events, sequential processed %d", eng.Events(), seq.Events())
+						}
+						for name := range seq.ViewSizes() {
+							want := seq.View(name).Data()
+							got := eng.View(name).Data()
+							if !gmr.Equal(want, got, 1e-6) {
+								t.Errorf("view %s diverged\nsequential: %v\nbatched:    %v", name, want, got)
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+}

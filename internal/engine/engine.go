@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"dbtoaster/internal/agca"
 	"dbtoaster/internal/gmr"
@@ -13,16 +14,25 @@ import (
 	"dbtoaster/internal/types"
 )
 
-// Engine is a single-threaded in-memory view maintenance runtime for one
-// compiled trigger program.
+// Engine is an in-memory view maintenance runtime for one compiled trigger
+// program. Single events are applied with Apply; windows of events can be
+// applied with ApplyBatch, which computes commuting per-trigger deltas once
+// per window and spreads independent view updates over shard workers. The
+// engine itself must be driven from one goroutine: Apply and ApplyBatch are
+// not safe to call concurrently.
 type Engine struct {
 	prog    *trigger.Program
 	views   map[string]*View
-	statics map[string]*gmr.GMR
+	statics map[string]*View
 	// triggers indexed by event key for O(1) dispatch.
 	triggers map[string]*trigger.Trigger
-	// argBuf avoids reallocating the environment on every event.
-	events uint64
+	events   uint64
+	// shards is the size of the worker pool ApplyBatch uses; views are
+	// partitioned across workers by name hash.
+	shards int
+	// plans caches the per-relation batch execution plans (conflict analysis
+	// plus per-statement fast paths), built lazily on first use.
+	plans map[string]*relationPlan
 }
 
 // New creates an engine for the program. Views whose definitions reference
@@ -32,8 +42,10 @@ func New(prog *trigger.Program) *Engine {
 	e := &Engine{
 		prog:     prog,
 		views:    make(map[string]*View, len(prog.Maps)),
-		statics:  map[string]*gmr.GMR{},
+		statics:  map[string]*View{},
 		triggers: map[string]*trigger.Trigger{},
+		shards:   runtime.GOMAXPROCS(0),
+		plans:    map[string]*relationPlan{},
 	}
 	for i := range prog.Maps {
 		m := prog.Maps[i]
@@ -46,13 +58,27 @@ func New(prog *trigger.Program) *Engine {
 	return e
 }
 
+// SetShards configures the number of shard workers ApplyBatch uses for
+// conflict-free groups (minimum 1; the default is GOMAXPROCS).
+func (e *Engine) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.shards = n
+}
+
+// Shards returns the configured shard worker count.
+func (e *Engine) Shards() int { return e.shards }
+
 // Program returns the compiled program the engine runs.
 func (e *Engine) Program() *trigger.Program { return e.prog }
 
 // LoadStatic installs the contents of a static relation (loaded before the
-// stream starts, like TPC-H's Nation/Region in the paper's setup).
+// stream starts, like TPC-H's Nation/Region in the paper's setup). Statics
+// get the same lazily built secondary indexes as maintained views, so probes
+// against them are hash lookups rather than full scans.
 func (e *Engine) LoadStatic(name string, data *gmr.GMR) {
-	e.statics[name] = data
+	e.statics[name] = newStaticView(name, data)
 }
 
 // Init evaluates the definitions of views that depend only on static
@@ -98,35 +124,21 @@ func (e *Engine) Relation(name string) *gmr.GMR {
 		return v.Data()
 	}
 	if s, ok := e.statics[name]; ok {
-		return s
+		return s.Data()
 	}
 	return gmr.New(nil)
 }
 
-// Probe implements agca.Prober with per-view secondary indexes.
+// Probe implements agca.Prober with per-view secondary indexes; static
+// tables share the same index machinery.
 func (e *Engine) Probe(name string, cols []int, vals []types.Value) []gmr.Entry {
 	if v, ok := e.views[name]; ok {
 		return v.Probe(cols, vals)
 	}
 	if s, ok := e.statics[name]; ok {
-		return probeScan(s, cols, vals)
+		return s.Probe(cols, vals)
 	}
 	return nil
-}
-
-// probeScan filters a GMR by scanning (used for static tables, which are
-// small in the paper's workloads).
-func probeScan(g *gmr.GMR, cols []int, vals []types.Value) []gmr.Entry {
-	var out []gmr.Entry
-	g.Foreach(func(t types.Tuple, m float64) {
-		for i, c := range cols {
-			if c >= len(t) || !t[c].Equal(vals[i]) {
-				return
-			}
-		}
-		out = append(out, gmr.Entry{Tuple: t, Mult: m})
-	})
-	return out
 }
 
 // Event is one single-tuple update of the input stream.

@@ -3,6 +3,7 @@ package engine
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"dbtoaster/internal/gmr"
 	"dbtoaster/internal/types"
@@ -12,10 +13,18 @@ import (
 // variables plus lazily created secondary hash indexes for the binding
 // patterns that trigger statements probe with (the role Boost Multi-Index
 // plays in the paper's C++ backend).
+//
+// Probe is safe for concurrent use (the batch pipeline's shard workers read
+// views in parallel while computing deltas); Add, AddProjected, MergeDelta
+// and Clear are not, and must not run concurrently with Probe.
 type View struct {
-	name    string
-	keys    []string
-	data    *gmr.GMR
+	name string
+	keys []string
+	data *gmr.GMR
+	// mu guards the indexes map so that concurrent probes can share lazily
+	// built indexes. Index contents are only mutated by Add/MergeDelta, which
+	// never overlap with probes.
+	mu      sync.Mutex
 	indexes map[string]*secondaryIndex
 }
 
@@ -36,6 +45,18 @@ func NewView(name string, keys []string) *View {
 	}
 }
 
+// newStaticView wraps an already loaded GMR (a static relation) in a View so
+// that probes against it get the same lazily built secondary indexes as the
+// maintained views. The GMR is adopted, not copied.
+func newStaticView(name string, data *gmr.GMR) *View {
+	return &View{
+		name:    name,
+		keys:    append([]string(nil), data.Schema()...),
+		data:    data,
+		indexes: map[string]*secondaryIndex{},
+	}
+}
+
 // Name returns the view's name.
 func (v *View) Name() string { return v.name }
 
@@ -51,12 +72,29 @@ func (v *View) Add(key types.Tuple, mult float64) {
 	if mult == 0 {
 		return
 	}
-	v.data.Add(key, mult)
+	newMult := v.data.Add(key, mult)
 	if len(v.indexes) == 0 {
 		return
 	}
-	newMult := v.data.Get(key)
-	pk := key.EncodeKey()
+	v.updateIndexes(key.EncodeKey(), key, newMult)
+}
+
+// MergeDelta adds every entry of delta (a GMR over the view's key schema)
+// into the view. It reuses the delta's canonical encoded keys and touches
+// each secondary index once per distinct key, which is what makes applying a
+// batch-accumulated delta cheaper than the equivalent sequence of Adds.
+func (v *View) MergeDelta(delta *gmr.GMR) {
+	delta.ForeachKeyed(func(pk string, t types.Tuple, m float64) {
+		newMult := v.data.AddKeyed(pk, t, m)
+		if len(v.indexes) != 0 {
+			v.updateIndexes(pk, t, newMult)
+		}
+	})
+}
+
+// updateIndexes reflects the new multiplicity of the key tuple (primary key
+// pk) in every secondary index.
+func (v *View) updateIndexes(pk string, key types.Tuple, newMult float64) {
 	for _, idx := range v.indexes {
 		bk := idx.bucketKey(key)
 		bucket := idx.buckets[bk]
@@ -138,21 +176,24 @@ func (v *View) Probe(cols []int, vals []types.Value) []gmr.Entry {
 }
 
 // index returns (building if necessary) the secondary index on the given
-// column positions.
+// column positions. Concurrent probes serialize only on the lookup and the
+// one-time build.
 func (v *View) index(cols []int) *secondaryIndex {
 	sig := signature(cols)
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if idx, ok := v.indexes[sig]; ok {
 		return idx
 	}
 	idx := &secondaryIndex{cols: append([]int(nil), cols...), buckets: map[string]map[string]gmr.Entry{}}
-	v.data.Foreach(func(t types.Tuple, m float64) {
+	v.data.ForeachKeyed(func(pk string, t types.Tuple, m float64) {
 		bk := idx.bucketKey(t)
 		bucket := idx.buckets[bk]
 		if bucket == nil {
 			bucket = map[string]gmr.Entry{}
 			idx.buckets[bk] = bucket
 		}
-		bucket[t.EncodeKey()] = gmr.Entry{Tuple: t.Clone(), Mult: m}
+		bucket[pk] = gmr.Entry{Tuple: t.Clone(), Mult: m}
 	})
 	v.indexes[sig] = idx
 	return idx

@@ -80,26 +80,14 @@ func (g *GMR) ScalarValue() float64 {
 }
 
 // Add increments the multiplicity of tuple t by m, removing the entry if the
-// result is (numerically) zero.
-func (g *GMR) Add(t types.Tuple, m float64) {
+// result is (numerically) zero. It returns the tuple's new multiplicity
+// (0 when the entry was removed; when m is 0 the GMR is unchanged and Add
+// returns 0 without looking the tuple up).
+func (g *GMR) Add(t types.Tuple, m float64) float64 {
 	if m == 0 {
-		return
+		return 0
 	}
-	if len(t) != len(g.schema) {
-		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
-	}
-	k := t.EncodeKey()
-	e, ok := g.rows[k]
-	if !ok {
-		g.rows[k] = Entry{Tuple: t.Clone(), Mult: m}
-		return
-	}
-	e.Mult += m
-	if math.Abs(e.Mult) <= Epsilon {
-		delete(g.rows, k)
-		return
-	}
-	g.rows[k] = e
+	return g.AddKeyed(t.EncodeKey(), t, m)
 }
 
 // Set assigns the multiplicity of tuple t to m (removing it when m is zero).
@@ -117,6 +105,39 @@ func (g *GMR) Foreach(fn func(t types.Tuple, m float64)) {
 	for _, e := range g.rows {
 		fn(e.Tuple, e.Mult)
 	}
+}
+
+// ForeachKeyed calls fn for every entry together with its canonical encoded
+// key. Bulk consumers (MergeInto, the engine's batch delta application) use
+// the key to address the destination map without re-encoding the tuple.
+func (g *GMR) ForeachKeyed(fn func(key string, t types.Tuple, m float64)) {
+	for k, e := range g.rows {
+		fn(k, e.Tuple, e.Mult)
+	}
+}
+
+// AddKeyed is Add for callers that already hold the tuple's canonical encoded
+// key (as produced by Tuple.EncodeKey); it skips re-encoding. It returns the
+// tuple's new multiplicity (0 when the entry was removed or never created).
+func (g *GMR) AddKeyed(key string, t types.Tuple, m float64) float64 {
+	if m == 0 {
+		return g.rows[key].Mult
+	}
+	if len(t) != len(g.schema) {
+		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
+	}
+	e, ok := g.rows[key]
+	if !ok {
+		g.rows[key] = Entry{Tuple: t.Clone(), Mult: m}
+		return m
+	}
+	e.Mult += m
+	if math.Abs(e.Mult) <= Epsilon {
+		delete(g.rows, key)
+		return 0
+	}
+	g.rows[key] = e
+	return e.Mult
 }
 
 // Entries returns the entries of the GMR sorted by tuple key; the order is
@@ -155,8 +176,10 @@ func (g *GMR) MergeInto(o *GMR, factor float64) {
 	if !g.schema.Equal(o.schema) {
 		panic(fmt.Sprintf("gmr: MergeInto schema mismatch %v vs %v", g.schema, o.schema))
 	}
-	for _, e := range o.rows {
-		g.Add(e.Tuple, e.Mult*factor)
+	// The source rows carry their canonical keys already; reuse them instead
+	// of re-encoding every tuple.
+	for k, e := range o.rows {
+		g.AddKeyed(k, e.Tuple, e.Mult*factor)
 	}
 }
 

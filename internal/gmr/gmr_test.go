@@ -252,3 +252,41 @@ func TestAddArityPanics(t *testing.T) {
 	g := New(types.Schema{"a", "b"})
 	g.Add(tup(1), 1)
 }
+
+func TestAddKeyedMatchesAdd(t *testing.T) {
+	a := New(types.Schema{"a", "b"})
+	b := New(types.Schema{"a", "b"})
+	rows := []struct {
+		t types.Tuple
+		m float64
+	}{
+		{tup(1, 2), 3}, {tup(1, 2), -1}, {tup(4, 5), 2}, {tup(1, 2), -2}, {tup(7, 8), 1.5},
+	}
+	for _, r := range rows {
+		a.Add(r.t, r.m)
+		got := b.AddKeyed(r.t.EncodeKey(), r.t, r.m)
+		if want := b.Get(r.t); got != want {
+			t.Fatalf("AddKeyed returned %v, stored multiplicity is %v", got, want)
+		}
+	}
+	if !Equal(a, b, 0) {
+		t.Fatalf("AddKeyed diverged from Add: %v vs %v", a, b)
+	}
+}
+
+func TestForeachKeyedKeysAreCanonical(t *testing.T) {
+	g := FromRows(types.Schema{"a", "b"}, []types.Tuple{tup(1, 2), tup(3, 4)})
+	n := 0
+	g.ForeachKeyed(func(key string, tu types.Tuple, m float64) {
+		n++
+		if key != tu.EncodeKey() {
+			t.Fatalf("key %q does not match EncodeKey %q", key, tu.EncodeKey())
+		}
+		if m != 1 {
+			t.Fatalf("multiplicity %v, want 1", m)
+		}
+	})
+	if n != 2 {
+		t.Fatalf("visited %d entries, want 2", n)
+	}
+}

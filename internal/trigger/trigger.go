@@ -44,6 +44,29 @@ func (s Statement) String() string {
 	return fmt.Sprintf("%s[%s] %s %s", s.TargetMap, strings.Join(s.TargetKeys, ","), op, agca.String(s.RHS))
 }
 
+// ReadSet returns the names of every relation and materialized map the
+// statement's right-hand side reads, sorted and without duplicates. The
+// engine's batch scheduler uses read sets (against EventWriteSet) to decide
+// whether the statements of an event window commute.
+func (s *Statement) ReadSet() []string {
+	set := map[string]bool{}
+	for _, r := range agca.Relations(s.RHS) {
+		set[r] = true
+	}
+	for _, m := range agca.MapRefs(s.RHS) {
+		set[m] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteSet returns the names written by the statement (its target map).
+func (s *Statement) WriteSet() []string { return []string{s.TargetMap} }
+
 // Trigger is the maintenance code executed when one tuple is inserted into or
 // deleted from Relation. Args names the trigger variables bound to the
 // tuple's column values.
@@ -108,6 +131,55 @@ func (p *Program) TriggerFor(relation string, insert bool) (Trigger, bool) {
 		}
 	}
 	return Trigger{}, false
+}
+
+// EventWriteSet returns the union of the target maps written by the insert
+// and delete triggers of relation.
+func (p *Program) EventWriteSet(relation string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range p.Triggers {
+		if t.Relation != relation {
+			continue
+		}
+		for _, s := range t.Stmts {
+			out[s.TargetMap] = true
+		}
+	}
+	return out
+}
+
+// RelationBatchable reports whether the triggers of relation commute across a
+// window of events on that relation: every statement must be an increment and
+// no statement may read a map that any statement of the relation's triggers
+// writes. When it holds, the per-event deltas of a window depend only on the
+// pre-window state, so they can be computed against a frozen snapshot and
+// summed — the engine's batched execution path. Replacement statements or
+// read/write overlap force the engine back to sequential per-event order,
+// which preserves the paper's one-trigger-per-event semantics exactly.
+func (p *Program) RelationBatchable(relation string) bool {
+	writes := p.EventWriteSet(relation)
+	if len(writes) == 0 {
+		return false
+	}
+	// Events on the relation also mutate the relation itself: a statement that
+	// scans the base relation directly must not be batched with its updates.
+	writes[relation] = true
+	for _, t := range p.Triggers {
+		if t.Relation != relation {
+			continue
+		}
+		for _, s := range t.Stmts {
+			if s.Kind != StmtIncrement {
+				return false
+			}
+			for _, r := range s.ReadSet() {
+				if writes[r] {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // SortStatements orders every trigger's statements for correct execution:

@@ -1,0 +1,99 @@
+package trigger
+
+import (
+	"reflect"
+	"testing"
+
+	"dbtoaster/internal/agca"
+)
+
+// prog builds a two-relation program shaped like the compiler's HO-IVM output:
+// R's trigger reads a map maintained by S's trigger and vice versa, so each
+// relation's own statements commute within a window of its events.
+func testProgram() *Program {
+	return &Program{
+		QueryName: "t",
+		ResultMap: "Q",
+		Maps: []MapDef{
+			{Name: "Q", Keys: []string{"a"}},
+			{Name: "MS", Keys: []string{"a"}},
+			{Name: "MR", Keys: []string{"a"}},
+		},
+		Triggers: []Trigger{
+			{
+				Relation: "R", Insert: true, Args: []string{"a", "v"},
+				Stmts: []Statement{
+					{TargetMap: "Q", TargetKeys: []string{"a"}, Kind: StmtIncrement,
+						RHS: agca.Mul(agca.V("v"), agca.MapRef{Name: "MS", Keys: []string{"a"}})},
+					{TargetMap: "MR", TargetKeys: []string{"a"}, Kind: StmtIncrement,
+						RHS: agca.V("v")},
+				},
+			},
+			{
+				Relation: "S", Insert: true, Args: []string{"a", "w"},
+				Stmts: []Statement{
+					{TargetMap: "Q", TargetKeys: []string{"a"}, Kind: StmtIncrement,
+						RHS: agca.Mul(agca.V("w"), agca.MapRef{Name: "MR", Keys: []string{"a"}})},
+					{TargetMap: "MS", TargetKeys: []string{"a"}, Kind: StmtIncrement,
+						RHS: agca.V("w")},
+				},
+			},
+		},
+		Relations: map[string][]string{"R": {"a", "v"}, "S": {"a", "w"}},
+	}
+}
+
+func TestStatementReadWriteSets(t *testing.T) {
+	p := testProgram()
+	s := p.Triggers[0].Stmts[0]
+	if got := s.ReadSet(); !reflect.DeepEqual(got, []string{"MS"}) {
+		t.Fatalf("ReadSet = %v, want [MS]", got)
+	}
+	if got := s.WriteSet(); !reflect.DeepEqual(got, []string{"Q"}) {
+		t.Fatalf("WriteSet = %v, want [Q]", got)
+	}
+}
+
+func TestEventWriteSet(t *testing.T) {
+	p := testProgram()
+	got := p.EventWriteSet("R")
+	want := map[string]bool{"Q": true, "MR": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EventWriteSet(R) = %v, want %v", got, want)
+	}
+}
+
+func TestRelationBatchable(t *testing.T) {
+	p := testProgram()
+	for _, rel := range []string{"R", "S"} {
+		if !p.RelationBatchable(rel) {
+			t.Fatalf("%s should be batchable: reads and writes are disjoint", rel)
+		}
+	}
+	if p.RelationBatchable("T") {
+		t.Fatal("relation without triggers must not be batchable")
+	}
+}
+
+func TestRelationBatchableConflicts(t *testing.T) {
+	// A trigger whose statement reads a map the same event window writes.
+	p := testProgram()
+	p.Triggers[0].Stmts[0].RHS = agca.Mul(agca.V("v"), agca.MapRef{Name: "MR", Keys: []string{"a"}})
+	if p.RelationBatchable("R") {
+		t.Fatal("read/write overlap on MR must disable batching for R")
+	}
+
+	// A replacement statement forces sequential order.
+	p = testProgram()
+	p.Triggers[0].Stmts[1].Kind = StmtReplace
+	if p.RelationBatchable("R") {
+		t.Fatal("replacement statements must disable batching")
+	}
+
+	// A statement that scans the updated base relation itself.
+	p = testProgram()
+	p.Triggers[0].Stmts[0].RHS = agca.R("R", "a", "v")
+	if p.RelationBatchable("R") {
+		t.Fatal("reading the updated relation must disable batching")
+	}
+}

@@ -27,6 +27,32 @@ type Spec struct {
 	Stream  func(scale float64, seed int64) []engine.Event
 }
 
+// Batches splits a stream into consecutive windows of size n (the last
+// window may be shorter). n < 1 yields one window holding the whole stream.
+func Batches(events []engine.Event, n int) [][]engine.Event {
+	if len(events) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = len(events)
+	}
+	out := make([][]engine.Event, 0, (len(events)+n-1)/n)
+	for start := 0; start < len(events); start += n {
+		end := start + n
+		if end > len(events) {
+			end = len(events)
+		}
+		out = append(out, events[start:end])
+	}
+	return out
+}
+
+// StreamBatches generates the spec's stream and cuts it into event windows
+// of the given size, ready for engine.ApplyBatch.
+func (s Spec) StreamBatches(scale float64, seed int64, batchSize int) [][]engine.Event {
+	return Batches(s.Stream(scale, seed), batchSize)
+}
+
 var registry = map[string]Spec{}
 
 // Register adds a workload spec; it is called from the init functions of the

@@ -149,3 +149,35 @@ func TestWorkloadCorrectnessAgainstOracle(t *testing.T) {
 		})
 	}
 }
+
+func TestBatchesPartitionTheStream(t *testing.T) {
+	spec, ok := Get("Q1")
+	if !ok {
+		t.Fatal("Q1 not registered")
+	}
+	events := spec.Stream(0.1, 1)
+	for _, n := range []int{1, 7, 64, 0} {
+		batches := Batches(events, n)
+		total := 0
+		for i, b := range batches {
+			if len(b) == 0 {
+				t.Fatalf("n=%d: empty batch %d", n, i)
+			}
+			if n >= 1 && len(b) > n {
+				t.Fatalf("n=%d: batch %d has %d events", n, i, len(b))
+			}
+			for _, ev := range b {
+				if !ev.Tuple.Equal(events[total].Tuple) || ev.Relation != events[total].Relation {
+					t.Fatalf("n=%d: batch %d reorders the stream", n, i)
+				}
+				total++
+			}
+		}
+		if total != len(events) {
+			t.Fatalf("n=%d: batches cover %d of %d events", n, total, len(events))
+		}
+	}
+	if got := spec.StreamBatches(0.1, 1, 7); len(got) != len(Batches(events, 7)) {
+		t.Fatalf("StreamBatches disagrees with Batches")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"dbtoaster/internal/bench"
 	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
 	"dbtoaster/internal/workload"
 )
 
@@ -30,6 +31,7 @@ func runCell(b *testing.B, query string, sys bench.System) {
 		b.Fatalf("unknown query %s", query)
 	}
 	opts := benchOpts()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last bench.Result
 	for i := 0; i < b.N; i++ {
@@ -40,6 +42,77 @@ func runCell(b *testing.B, query string, sys bench.System) {
 	}
 	b.ReportMetric(last.RefreshRate, "refreshes/s")
 	b.ReportMetric(float64(last.MemBytes)/1024, "viewKB")
+}
+
+// --- Compiled executors vs the interpreter, per-event hot path --------------
+
+// benchEval measures the steady-state per-event cost of Apply for one query
+// under the given statement executors: the engine is warmed on a stream
+// prefix, then events from a rotating window are applied b.N times. allocs/op
+// is the per-event allocation count of the executor hot path.
+func benchEval(b *testing.B, query string, mode engine.ExecMode) {
+	spec, ok := workload.Get(query)
+	if !ok {
+		b.Fatalf("unknown query %s", query)
+	}
+	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(prog)
+	eng.SetExecMode(mode)
+	for name, data := range spec.Statics() {
+		eng.LoadStatic(name, data)
+	}
+	if err := eng.Init(); err != nil {
+		b.Fatal(err)
+	}
+	events := spec.Stream(0.2, 1)
+	warm := len(events) / 2
+	for _, ev := range events[:warm] {
+		if err := eng.Apply(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	window := events[warm:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Apply(window[i%len(window)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// evalQueries is the per-event executor comparison set: the batch-sweep
+// TPC-H queries plus one query per non-TPCH workload group.
+var evalQueries = []string{"Q1", "Q3", "Q6", "Q11a", "Q12", "VWAP", "MDDB1"}
+
+// BenchmarkEvalInterp is the tree-walking interpreter baseline.
+func BenchmarkEvalInterp(b *testing.B) {
+	for _, q := range evalQueries {
+		b.Run(q, func(b *testing.B) { benchEval(b, q, engine.ExecInterp) })
+	}
+}
+
+// BenchmarkEvalCompiled runs the same per-event workload through the
+// compiled closure executors (internal/exec).
+func BenchmarkEvalCompiled(b *testing.B) {
+	for _, q := range evalQueries {
+		b.Run(q, func(b *testing.B) { benchEval(b, q, engine.ExecCompiled) })
+	}
+}
+
+// BenchmarkExecSweep logs the full interpreter-vs-compiled refresh-rate
+// table (the exec_throughput experiment).
+func BenchmarkExecSweep(b *testing.B) {
+	opts := benchOpts()
+	var table string
+	for i := 0; i < b.N; i++ {
+		results := bench.ExecSweep([]string{"Q1", "Q3", "Q6", "Q11a", "Q12"}, opts)
+		table = bench.FormatExecTable(results)
+	}
+	b.Log("\nStatement executors (DBToaster refreshes per second):\n" + table)
 }
 
 // --- Figure 6 / Figure 7: per-query refresh rates for every system ---------

@@ -12,20 +12,26 @@ import (
 
 	"dbtoaster/internal/bench"
 	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
 	"dbtoaster/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput")
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput")
 	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := flag.Float64("scale", 0.25, "stream scale factor")
 	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
 	seed := flag.Int64("seed", 1, "stream generator seed")
 	batch := flag.Int("batch", 1, "events per batch window (>1 uses the shard-parallel batch pipeline)")
 	shards := flag.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
+	execFlag := flag.String("exec", "compiled", "statement executors: compiled | interp | verify")
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget, BatchSize: *batch, Shards: *shards}
+	execMode, err := engine.ParseExecMode(*execFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget, BatchSize: *batch, Shards: *shards, Exec: execMode}
 	pick := func(def []string) []string {
 		if *queries == "" {
 			return def
@@ -75,6 +81,10 @@ func main() {
 		results := bench.BatchSweep(pick(workload.Names("tpch")), sizes, opts)
 		fmt.Println("Batched execution — DBToaster refreshes per second by batch size:")
 		fmt.Print(bench.FormatBatchTable(results, sizes))
+	case "exec_throughput":
+		results := bench.ExecSweep(pick(workload.Names("")), opts)
+		fmt.Println("Statement executors — DBToaster refreshes per second, interpreter vs compiled:")
+		fmt.Print(bench.FormatExecTable(results))
 	case "fig2_features":
 		infos, err := bench.CompileAll()
 		if err != nil {

@@ -25,6 +25,13 @@ type Prober interface {
 	Probe(name string, cols []int, vals []types.Value) []gmr.Entry
 }
 
+// EachProber is the allocation-free variant of Prober used by the compiled
+// executors: instead of materializing a slice of matching entries it invokes
+// fn for each one. Implementations must not retain vals beyond the call.
+type EachProber interface {
+	ProbeEach(name string, cols []int, vals []types.Value, fn func(gmr.Entry))
+}
+
 // MapDB is a trivial Database backed by a Go map; handy for tests and for the
 // REP baseline.
 type MapDB map[string]*gmr.GMR
@@ -399,6 +406,11 @@ func EvalScalar(e Expr, db Database, env types.Env) types.Value {
 	}
 }
 
+// CompareHolds reports whether "l op r" holds under the calculus' comparison
+// semantics (types.Compare with numeric coercion). It is shared with the
+// compiled executors.
+func CompareHolds(op CmpOp, l, r types.Value) bool { return compareHolds(op, l, r) }
+
 func compareHolds(op CmpOp, l, r types.Value) bool {
 	c := types.Compare(l, r)
 	switch op {
@@ -425,7 +437,14 @@ func evalFunc(f Func, db Database, env types.Env) types.Value {
 	for i, a := range f.Args {
 		args[i] = EvalScalar(a, db, env)
 	}
-	switch strings.ToLower(f.Name) {
+	return ApplyFunc(f.Name, args)
+}
+
+// ApplyFunc applies the named interpreted scalar function to already-evaluated
+// arguments. It is shared by the tree-walking interpreter and the compiled
+// executors (package exec) so both dispatch the same function semantics.
+func ApplyFunc(name string, args []types.Value) types.Value {
+	switch strings.ToLower(name) {
 	case "year":
 		// Dates are encoded as yyyymmdd integers.
 		return types.Int(args[0].AsInt() / 10000)
@@ -490,7 +509,7 @@ func evalFunc(f Func, db Database, env types.Env) types.Value {
 		}
 		return types.Int(0)
 	default:
-		evalPanic("unknown function %q", f.Name)
+		evalPanic("unknown function %q", name)
 		return types.Value{}
 	}
 }

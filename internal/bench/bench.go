@@ -48,12 +48,13 @@ type Result struct {
 
 // Options control a benchmark run.
 type Options struct {
-	Scale     float64       // stream scale factor (1.0 = default size)
-	Seed      int64         // stream generator seed
-	MaxEvents int           // 0 = whole stream
-	Budget    time.Duration // per-cell wall-clock budget (0 = unlimited), like the paper's replay timeout
-	BatchSize int           // events per ApplyBatch window (<= 1 replays one event at a time)
-	Shards    int           // shard workers for batched execution (0 = engine default)
+	Scale     float64         // stream scale factor (1.0 = default size)
+	Seed      int64           // stream generator seed
+	MaxEvents int             // 0 = whole stream
+	Budget    time.Duration   // per-cell wall-clock budget (0 = unlimited), like the paper's replay timeout
+	BatchSize int             // events per ApplyBatch window (<= 1 replays one event at a time)
+	Shards    int             // shard workers for batched execution (0 = engine default)
+	Exec      engine.ExecMode // statement executors: compiled closures (default), interpreter, or verify
 }
 
 // DefaultOptions returns a configuration suitable for quick local runs.
@@ -73,6 +74,7 @@ func Run(spec workload.Spec, sys System, opts Options) Result {
 	}
 	res.NumMaps = len(prog.Maps)
 	eng := engine.New(prog)
+	eng.SetExecMode(opts.Exec)
 	for name, data := range spec.Statics() {
 		eng.LoadStatic(name, data)
 	}
@@ -257,6 +259,65 @@ func FormatBatchTable(results []Result, sizes []int) string {
 	return b.String()
 }
 
+// ExecSweep replays every query in DBToaster mode under both statement
+// executors — the tree-walking interpreter and the compiled closure
+// executors — at the given batch size and reports the sustained refresh rate
+// per cell, measuring the speedup of the compilation layer.
+func ExecSweep(queries []string, opts Options) []Result {
+	var out []Result
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			for _, mode := range []engine.ExecMode{engine.ExecInterp, engine.ExecCompiled} {
+				out = append(out, Result{Query: q, System: "exec=" + mode.String(),
+					Err: fmt.Errorf("unknown query %q", q)})
+			}
+			continue
+		}
+		for _, mode := range []engine.ExecMode{engine.ExecInterp, engine.ExecCompiled} {
+			o := opts
+			o.Exec = mode
+			r := Run(spec, System{"DBToaster", compiler.ModeDBToaster}, o)
+			r.System = "exec=" + mode.String()
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FormatExecTable renders the exec sweep: one row per query, the interpreted
+// and compiled refresh rates, and the compiled/interp speedup.
+func FormatExecTable(results []Result) string {
+	byQuery := map[string]map[string]Result{}
+	var queries []string
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]Result{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.System] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %9s\n", "Query", "interp", "compiled", "speedup")
+	for _, q := range queries {
+		ri := byQuery[q]["exec=interp"]
+		rc := byQuery[q]["exec=compiled"]
+		fmt.Fprintf(&b, "%-10s", q)
+		for _, r := range []Result{ri, rc} {
+			if r.Err != nil {
+				fmt.Fprintf(&b, " %12s", "error")
+			} else {
+				fmt.Fprintf(&b, " %12.1f", r.RefreshRate)
+			}
+		}
+		if ri.Err == nil && rc.Err == nil && ri.RefreshRate > 0 {
+			fmt.Fprintf(&b, " %8.2fx", rc.RefreshRate/ri.RefreshRate)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // TracePoint is one sample of the Figure 8–10 traces: view refresh rate and
 // memory footprint after processing a fraction of the stream.
 type TracePoint struct {
@@ -275,6 +336,7 @@ func Trace(spec workload.Spec, sys System, opts Options, samples int) ([]TracePo
 		return nil, err
 	}
 	eng := engine.New(prog)
+	eng.SetExecMode(opts.Exec)
 	for name, data := range spec.Statics() {
 		eng.LoadStatic(name, data)
 	}

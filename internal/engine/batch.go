@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dbtoaster/internal/agca"
+	"dbtoaster/internal/exec"
 	"dbtoaster/internal/gmr"
 	"dbtoaster/internal/trigger"
 	"dbtoaster/internal/types"
@@ -61,16 +62,34 @@ type relationPlan struct {
 type triggerPlan struct {
 	trig  *trigger.Trigger
 	stmts []stmtPlan
+	// needEnv is true when some statement of the trigger takes the
+	// interpreter under the current exec mode, so the batched path must keep
+	// the trigger environment populated. Plans are rebuilt when the mode
+	// changes.
+	needEnv bool
 }
 
-// stmtPlan precomputes everything about one statement that Apply re-derives
-// per event: the target view, where each target key comes from, and — for
-// statements whose right-hand side is a pure scalar of the trigger arguments
-// (no relation or map atoms) — the scalar expression itself, which the batch
-// path evaluates without materializing intermediate GMRs.
+// stmtPlan precomputes everything about one statement that per-event
+// execution would otherwise re-derive: the target view, the compiled closure
+// executor (when the statement's shape lowers), where each target key comes
+// from, and — for statements whose right-hand side is a pure scalar of the
+// trigger arguments (no relation or map atoms) — the scalar expression
+// itself, which the interpreted batch path evaluates without materializing
+// intermediate GMRs.
 type stmtPlan struct {
 	stmt   *trigger.Statement
 	target *View
+	// exec is the statement's compiled executor; nil when compilation failed
+	// (the statement stays on the interpreter) or the engine runs ExecInterp.
+	exec *exec.Executor
+	// directEmit marks compiled increments whose RHS does not read their own
+	// target: the sequential path emits straight into the view.
+	directEmit bool
+	// scratch is the sequential path's reusable delta buffer for compiled
+	// statements that cannot emit directly. Only the engine's driving
+	// goroutine touches it (the batched path accumulates into per-worker
+	// deltas instead).
+	scratch *gmr.GMR
 	// keyArg[i] is the trigger-argument position feeding target key i, or -1
 	// when the key must be read from a result column instead.
 	keyArg []int
@@ -116,6 +135,20 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 			// path; never take the batched one.
 			rp.batchable = false
 		}
+		if sp.target != nil && e.execMode != ExecInterp {
+			// Compile errors are expected for shapes the exec compiler does
+			// not lower; those statements simply stay on the interpreter.
+			sp.exec, _ = s.Executor(t.Args)
+		}
+		if sp.exec != nil && s.Kind == trigger.StmtIncrement {
+			sp.directEmit = true
+			for _, r := range s.ReadSet() {
+				if r == s.TargetMap {
+					sp.directEmit = false
+					break
+				}
+			}
+		}
 		allFromArgs := true
 		for i, k := range s.TargetKeys {
 			if j, ok := argIdx[k]; ok {
@@ -138,6 +171,9 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 			}
 		}
 		tp.stmts[si] = sp
+		if sp.exec == nil || e.execMode != ExecCompiled {
+			tp.needEnv = true
+		}
 	}
 	return tp
 }
@@ -163,7 +199,10 @@ func (e *Engine) ApplyBatch(b *Batch) error {
 			// paper's generated engines drop them.
 			continue
 		}
-		if !plan.batchable {
+		if !plan.batchable || e.execMode == ExecVerify {
+			// ExecVerify cross-checks executors on the sequential path, so
+			// batches degrade to verified per-event Apply rather than
+			// silently skipping the comparison.
 			for i := range g.events {
 				if err := e.Apply(g.events[i]); err != nil {
 					return err
@@ -325,14 +364,24 @@ func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDel
 			return deltas, n, fmt.Errorf("event on %s carries %d values, trigger expects %d",
 				ev.Relation, len(ev.Tuple), len(tp.trig.Args))
 		}
-		// The argument names are fixed per trigger, so the same environment
-		// is reused across the chunk with values overwritten in place.
-		for j, a := range tp.trig.Args {
-			env[a] = ev.Tuple[j]
-		}
 		n++
+		// Compiled statements read the event tuple directly; the argument
+		// names are fixed per trigger, so when some statement still needs the
+		// interpreter the same environment is reused across the chunk with
+		// values overwritten in place.
+		if tp.needEnv {
+			for j, a := range tp.trig.Args {
+				env[a] = ev.Tuple[j]
+			}
+		}
 		for si := range tp.stmts {
 			sp := &tp.stmts[si]
+			if sp.exec != nil && e.execMode == ExecCompiled {
+				if err := sp.exec.Run(e, ev.Tuple, deltas.acc(sp.target)); err != nil {
+					return deltas, n, fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
+				}
+				continue
+			}
 			if sp.scalar != nil {
 				m := agca.EvalScalar(sp.scalar, e, env).AsFloat()
 				if m == 0 {
@@ -345,7 +394,7 @@ func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDel
 				deltas.acc(sp.target).Add(key, m)
 				continue
 			}
-			if err := e.stmtDelta(sp, env, ev, deltas.acc(sp.target)); err != nil {
+			if err := e.stmtDelta(sp, env, ev.Tuple, deltas.acc(sp.target)); err != nil {
 				return deltas, n, fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
 			}
 		}
@@ -353,11 +402,11 @@ func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDel
 	return deltas, n, nil
 }
 
-// stmtDelta evaluates one general (non-scalar) statement for one event and
-// accumulates the resulting target-key deltas. It mirrors the key binding
-// semantics of the sequential execute path: keys bound by the trigger
-// environment win over result columns of the same name.
-func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, ev *Event, acc *gmr.GMR) error {
+// stmtDelta evaluates one general (non-scalar) statement for one event
+// through the interpreter and accumulates the resulting target-key deltas.
+// It mirrors the key binding semantics of the sequential execute path: keys
+// bound by the trigger environment win over result columns of the same name.
+func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, tuple types.Tuple, acc *gmr.GMR) error {
 	res := agca.Eval(sp.stmt.RHS, e, env)
 	schema := res.Schema()
 	cols := make([]int, len(sp.keyArg))
@@ -380,7 +429,7 @@ func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, ev *Event, acc *gmr.GMR)
 		key := make(types.Tuple, len(sp.keyArg))
 		for i, j := range sp.keyArg {
 			if j >= 0 {
-				key[i] = ev.Tuple[j]
+				key[i] = tuple[j]
 			} else {
 				key[i] = t[cols[i]]
 			}

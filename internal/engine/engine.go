@@ -30,9 +30,99 @@ type Engine struct {
 	// shards is the size of the worker pool ApplyBatch uses; views are
 	// partitioned across workers by name hash.
 	shards int
-	// plans caches the per-relation batch execution plans (conflict analysis
-	// plus per-statement fast paths), built lazily on first use.
+	// plans caches the per-relation execution plans (conflict analysis plus
+	// per-statement compiled executors and fast paths), built lazily on first
+	// use and shared by Apply and ApplyBatch.
 	plans map[string]*relationPlan
+	// execMode selects compiled executors, the interpreter, or the
+	// run-both-and-compare equivalence check.
+	execMode ExecMode
+}
+
+// ExecMode selects how trigger statements are executed.
+type ExecMode int
+
+const (
+	// ExecCompiled (the default) runs each statement through its compiled
+	// closure executor, falling back to the interpreter per statement when
+	// the compiler does not lower its shape.
+	ExecCompiled ExecMode = iota
+	// ExecInterp forces the tree-walking AGCA interpreter for every
+	// statement.
+	ExecInterp
+	// ExecVerify is the equivalence escape hatch: every compiled statement
+	// runs through both executors and execution errors out if their deltas
+	// diverge. ApplyBatch degrades to per-event Apply under this mode so the
+	// comparison always happens.
+	ExecVerify
+)
+
+// String names the mode as spelled by dbtbench's -exec flag.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecCompiled:
+		return "compiled"
+	case ExecInterp:
+		return "interp"
+	case ExecVerify:
+		return "verify"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(m))
+	}
+}
+
+// ParseExecMode parses the -exec flag spelling of a mode.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "compiled", "":
+		return ExecCompiled, nil
+	case "interp":
+		return ExecInterp, nil
+	case "verify":
+		return ExecVerify, nil
+	default:
+		return ExecCompiled, fmt.Errorf("unknown exec mode %q (want compiled|interp|verify)", s)
+	}
+}
+
+// SetExecMode switches between compiled executors and the interpreter (and
+// the verify escape hatch). Cached plans are rebuilt on next use.
+func (e *Engine) SetExecMode(m ExecMode) {
+	e.execMode = m
+	e.plans = map[string]*relationPlan{}
+}
+
+// ExecMode returns the current execution mode.
+func (e *Engine) ExecMode() ExecMode { return e.execMode }
+
+// ExecStats reports, across the relation plans built so far, how many
+// statements run compiled and how many fell back to the interpreter.
+type ExecStats struct {
+	CompiledStmts int
+	InterpStmts   int
+}
+
+// ExecStats summarizes the executor coverage of the plans built so far.
+func (e *Engine) ExecStats() ExecStats {
+	var st ExecStats
+	for _, p := range e.plans {
+		if p == nil {
+			continue
+		}
+		for _, tp := range []*triggerPlan{p.insert, p.delete} {
+			if tp == nil {
+				continue
+			}
+			for i := range tp.stmts {
+				if tp.stmts[i].exec != nil {
+					st.CompiledStmts++
+				} else {
+					st.InterpStmts++
+				}
+			}
+		}
+	}
+	return st
 }
 
 // New creates an engine for the program. Views whose definitions reference
@@ -141,6 +231,19 @@ func (e *Engine) Probe(name string, cols []int, vals []types.Value) []gmr.Entry 
 	return nil
 }
 
+// ProbeEach implements agca.EachProber, the allocation-free probe path the
+// compiled executors use: matching entries are streamed to fn instead of
+// being collected into a slice.
+func (e *Engine) ProbeEach(name string, cols []int, vals []types.Value, fn func(gmr.Entry)) {
+	if v, ok := e.views[name]; ok {
+		v.ProbeEach(cols, vals, fn)
+		return
+	}
+	if s, ok := e.statics[name]; ok {
+		s.ProbeEach(cols, vals, fn)
+	}
+}
+
 // Event is one single-tuple update of the input stream.
 type Event struct {
 	Relation string
@@ -148,33 +251,116 @@ type Event struct {
 	Tuple    types.Tuple
 }
 
-// Apply processes one update event: it binds the trigger arguments to the
-// tuple's values and executes the trigger's statements in order.
+// Apply processes one update event through the relation's cached execution
+// plan: compiled statements run their closure executors, the rest bind the
+// trigger arguments to the tuple's values and take the interpreter.
 func (e *Engine) Apply(ev Event) error {
-	key := "-" + ev.Relation
-	if ev.Insert {
-		key = "+" + ev.Relation
-	}
-	trig, ok := e.triggers[key]
-	if !ok {
+	plan := e.planFor(ev.Relation)
+	if plan == nil {
 		// Relations that the query does not reference (or static relations)
 		// are ignored, like events the paper's generated engines drop.
 		return nil
 	}
-	if len(trig.Args) != len(ev.Tuple) {
-		return fmt.Errorf("engine: event on %s carries %d values, trigger expects %d",
-			ev.Relation, len(ev.Tuple), len(trig.Args))
+	tp := plan.delete
+	if ev.Insert {
+		tp = plan.insert
 	}
-	env := make(types.Env, len(trig.Args))
-	for i, a := range trig.Args {
-		env[a] = ev.Tuple[i]
+	if tp == nil {
+		return nil
+	}
+	if len(tp.trig.Args) != len(ev.Tuple) {
+		return fmt.Errorf("engine: event on %s carries %d values, trigger expects %d",
+			ev.Relation, len(ev.Tuple), len(tp.trig.Args))
 	}
 	e.events++
-	for i := range trig.Stmts {
-		if err := e.execute(&trig.Stmts[i], env); err != nil {
-			return fmt.Errorf("engine: %s: statement %q: %w", key, trig.Stmts[i].String(), err)
+	// The interpreter environment is built lazily, only when some statement
+	// actually falls back to it.
+	var env types.Env
+	for si := range tp.stmts {
+		if err := e.executeStmt(&tp.stmts[si], ev.Tuple, tp.trig.Args, &env); err != nil {
+			return fmt.Errorf("engine: %s: statement %q: %w", tp.trig.Key(), tp.stmts[si].stmt.String(), err)
 		}
 	}
+	return nil
+}
+
+// executeStmt runs one statement of the sequential path. Compiled increments
+// whose RHS does not read their own target emit straight into the view;
+// everything else goes through the plan's scratch delta first (replacement
+// statements must fully evaluate before the target is cleared). A compiled
+// statement that fails mid-emission on a semantic error (a malformed program)
+// may leave a partial direct-emit delta applied; valid programs never hit
+// this.
+func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env) error {
+	if sp.exec == nil || e.execMode == ExecInterp {
+		if *env == nil {
+			*env = make(types.Env, len(args))
+			for i, a := range args {
+				(*env)[a] = tuple[i]
+			}
+		}
+		return e.execute(sp.stmt, *env)
+	}
+	if e.execMode == ExecVerify {
+		return e.verifyStmt(sp, tuple, args, env)
+	}
+	if sp.directEmit {
+		return sp.exec.Run(e, tuple, sp.target)
+	}
+	if sp.scratch == nil {
+		sp.scratch = gmr.New(types.Schema(sp.target.Keys()))
+	} else {
+		sp.scratch.Reset()
+	}
+	if err := sp.exec.Run(e, tuple, sp.scratch); err != nil {
+		return err
+	}
+	if sp.stmt.Kind == trigger.StmtReplace {
+		sp.target.Clear()
+	}
+	sp.target.MergeDelta(sp.scratch)
+	return nil
+}
+
+// verifyStmt is the ExecVerify escape hatch: the statement's delta is
+// computed by both the compiled executor and the interpreter and the two must
+// agree before the (compiled) delta is applied.
+func (e *Engine) verifyStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env) error {
+	schema := types.Schema(sp.target.Keys())
+	compiled := gmr.New(schema)
+	if err := sp.exec.Run(e, tuple, compiled); err != nil {
+		return err
+	}
+	if *env == nil {
+		*env = make(types.Env, len(args))
+		for i, a := range args {
+			(*env)[a] = tuple[i]
+		}
+	}
+	interp := gmr.New(schema)
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ee, ok := r.(*agca.EvalError); ok {
+					err = ee
+					return
+				}
+				panic(r)
+			}
+		}()
+		return e.stmtDelta(sp, *env, tuple, interp)
+	}()
+	if err != nil {
+		return err
+	}
+	if !gmr.Equal(compiled, interp, 1e-9) {
+		return fmt.Errorf("exec verify: compiled and interpreted deltas diverge\ncompiled:    %v\ninterpreted: %v",
+			compiled, interp)
+	}
+	if sp.stmt.Kind == trigger.StmtReplace {
+		sp.target.Clear()
+	}
+	sp.target.MergeDelta(compiled)
 	return nil
 }
 
@@ -227,11 +413,7 @@ func (e *Engine) execute(s *trigger.Statement, env types.Env) error {
 				key[i] = t[src.col]
 			}
 		}
-		if s.Kind == trigger.StmtReplace {
-			target.Add(key, m)
-		} else {
-			target.Add(key, m)
-		}
+		target.Add(key, m)
 	})
 	return nil
 }

@@ -1,0 +1,71 @@
+package engine_test
+
+import (
+	"testing"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/workload"
+)
+
+// applyAllocsPerEvent replays a warm-up prefix and then measures the average
+// allocations of Apply over a rotating window of subsequent events, so the
+// measurement reflects the steady-state per-event hot path rather than view
+// growth from a cold start.
+func applyAllocsPerEvent(t *testing.T, query string, mode engine.ExecMode) float64 {
+	t.Helper()
+	spec, ok := workload.Get(query)
+	if !ok {
+		t.Fatalf("unknown query %s", query)
+	}
+	eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+	eng.SetExecMode(mode)
+	events := spec.Stream(0.2, 1)
+	const warm, window = 200, 300
+	if len(events) < warm+window {
+		t.Fatalf("stream too short for %s: %d events", query, len(events))
+	}
+	for _, ev := range events[:warm] {
+		if err := eng.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	return testing.AllocsPerRun(window, func() {
+		if err := eng.Apply(events[warm+i%window]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+}
+
+// TestCompiledApplyAllocs asserts the allocation-lean property of the
+// compiled per-event hot path: at least a 50% allocs/op reduction against the
+// interpreter on every measured query, and an (almost) allocation-free steady
+// state for the simple aggregate queries, where every map touch goes through
+// reused key buffers.
+func TestCompiledApplyAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		query string
+		// maxCompiled bounds the compiled steady-state allocs/op; a little
+		// slack absorbs occasional map-bucket growth inside the views.
+		maxCompiled float64
+	}{
+		{"Q1", 1},
+		{"Q6", 1},
+		{"Q12", 1},
+		{"Q3", 16},
+		{"VWAP", 8},
+	} {
+		interp := applyAllocsPerEvent(t, tc.query, engine.ExecInterp)
+		compiled := applyAllocsPerEvent(t, tc.query, engine.ExecCompiled)
+		t.Logf("%-6s allocs/op: interp=%.1f compiled=%.1f", tc.query, interp, compiled)
+		if compiled > tc.maxCompiled {
+			t.Errorf("%s: compiled path allocates %.1f/op, want <= %.1f", tc.query, compiled, tc.maxCompiled)
+		}
+		if compiled > interp/2 {
+			t.Errorf("%s: compiled path allocates %.1f/op, more than half of the interpreter's %.1f",
+				tc.query, compiled, interp)
+		}
+	}
+}

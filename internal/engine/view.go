@@ -79,6 +79,22 @@ func (v *View) Add(key types.Tuple, mult float64) {
 	v.updateIndexes(key.EncodeKey(), key, newMult)
 }
 
+// AddEncoded is Add for callers that already hold the key tuple's canonical
+// encoding in a byte buffer (the compiled executors' emission path); the
+// underlying GMR only converts the bytes to a string when a new entry is
+// inserted. It implements exec.Accum, so a compiled statement whose RHS does
+// not read its own target can emit straight into the view.
+func (v *View) AddEncoded(key []byte, t types.Tuple, mult float64) float64 {
+	if mult == 0 {
+		return 0
+	}
+	newMult := v.data.AddEncoded(key, t, mult)
+	if len(v.indexes) != 0 {
+		v.updateIndexes(string(key), t, newMult)
+	}
+	return newMult
+}
+
 // MergeDelta adds every entry of delta (a GMR over the view's key schema)
 // into the view. It reuses the delta's canonical encoded keys and touches
 // each secondary index once per distinct key, which is what makes applying a
@@ -173,6 +189,36 @@ func (v *View) Probe(cols []int, vals []types.Value) []gmr.Entry {
 		out = append(out, e)
 	}
 	return out
+}
+
+// ProbeEach is the allocation-free variant of Probe used by the compiled
+// executors: matching entries are passed to fn instead of being collected
+// into a slice. Like Probe it is safe for concurrent use; fn must not mutate
+// the view.
+func (v *View) ProbeEach(cols []int, vals []types.Value, fn func(gmr.Entry)) {
+	var kb [96]byte
+	if len(cols) == len(v.keys) {
+		inOrder := true
+		for i, c := range cols {
+			if c != i {
+				inOrder = false
+				break
+			}
+		}
+		if inOrder {
+			// Fully bound in-order probe: direct primary lookup.
+			if e, ok := v.data.LookupEncoded(types.Tuple(vals).AppendKey(kb[:0])); ok {
+				fn(e)
+			}
+			return
+		}
+	}
+	idx := v.index(cols)
+	// The bucket is resolved before iteration, so fn may reuse vals.
+	bucket := idx.buckets[string(types.Tuple(vals).AppendKey(kb[:0]))]
+	for _, e := range bucket {
+		fn(e)
+	}
 }
 
 // index returns (building if necessary) the secondary index on the given

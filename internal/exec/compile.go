@@ -1,0 +1,459 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+// CompileError reports an expression shape the compiler does not lower; the
+// engine runs the statement through the interpreter instead.
+type CompileError struct {
+	Msg string
+}
+
+func (e *CompileError) Error() string { return "exec: " + e.Msg }
+
+func compilePanic(format string, args ...any) {
+	panic(&CompileError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// compiler carries the static state of one statement compilation: the slot
+// assignment (one register per variable name — sound because a variable is
+// only ever written where it is statically unbound, and every read on a
+// pipeline path is dominated by the write that bound it) and the scratch
+// buffer layout of the machine.
+type compiler struct {
+	slots    map[string]int
+	valSizes []int
+	nScratch int
+}
+
+func (c *compiler) slot(name string) int {
+	if s, ok := c.slots[name]; ok {
+		return s
+	}
+	s := len(c.slots)
+	c.slots[name] = s
+	return s
+}
+
+// CompileStatement lowers one trigger statement — "target[targetKeys] ±=
+// rhs" under trigger arguments args — into an executor. It returns a
+// *CompileError for shapes the compiler does not handle; the caller falls
+// back to the interpreter.
+func CompileStatement(rhs agca.Expr, targetKeys []string, args []string) (x *Executor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*CompileError); ok {
+				x, err = nil, ce
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{slots: map[string]int{}}
+	for _, a := range args {
+		c.slot(a)
+	}
+	bound := agca.NewVarSet(args...)
+	// Every target key must be statically bound after the pipeline: either a
+	// trigger argument or an output variable of the RHS. (The interpreter
+	// additionally tolerates missing key columns when the result is empty;
+	// statements relying on that stay interpreted.)
+	avail := bound.Clone()
+	avail.AddAll(agca.OutputVars(rhs, bound))
+	keySlots := make([]int, len(targetKeys))
+	for i, k := range targetKeys {
+		if !avail[k] {
+			compilePanic("target key %q is neither a trigger argument nor an output of the RHS", k)
+		}
+		keySlots[i] = c.slot(k)
+	}
+	root := c.compile(rhs, bound, emit(keySlots))
+	return &Executor{
+		root:     root,
+		nArgs:    len(args),
+		nRegs:    len(c.slots),
+		valSizes: c.valSizes,
+		nScratch: c.nScratch,
+		keySlots: keySlots,
+	}, nil
+}
+
+// compile lowers e, evaluated with the variables in bound already carrying
+// values in their slots, into a node that pushes each result row (output
+// slots written, multiplicity multiplied into the incoming one) to next.
+func (c *compiler) compile(e agca.Expr, bound agca.VarSet, next node) node {
+	switch n := e.(type) {
+	case agca.Const:
+		f := n.V.AsFloat()
+		if f == 0 {
+			return func(m *machine, mult float64) {}
+		}
+		return func(m *machine, mult float64) { next(m, mult*f) }
+	case agca.Var:
+		s := c.boundSlot(n.Name, bound)
+		return func(m *machine, mult float64) {
+			if f := m.regs[s].AsFloat(); f != 0 {
+				next(m, mult*f)
+			}
+		}
+	case agca.Rel:
+		return c.compileAtom(n.Name, n.Vars, bound, next)
+	case agca.MapRef:
+		return c.compileAtom(n.Name, n.Keys, bound, next)
+	case agca.Neg:
+		return c.compile(n.E, bound, func(m *machine, mult float64) { next(m, -mult) })
+	case agca.Sum:
+		return c.compileSum(n, bound, next)
+	case agca.Prod:
+		return c.compileProd(n, bound, next)
+	case agca.Cmp:
+		l := c.compileScalar(n.L, bound)
+		r := c.compileScalar(n.R, bound)
+		op := n.Op
+		return func(m *machine, mult float64) {
+			if agca.CompareHolds(op, l(m), r(m)) {
+				next(m, mult)
+			}
+		}
+	case agca.Lift:
+		return c.compileLift(n, bound, next)
+	case agca.AggSum:
+		// Group-by summation is a pure projection in the push model: dropped
+		// variables go statically out of scope and every consumer either
+		// multiplies linearly or sums at its own keyed materialization point,
+		// so summing early and summing late coincide. The group-by variables
+		// must be produced by the inner expression (the interpreter's Project
+		// panics otherwise).
+		innerOut := agca.NewVarSet(agca.OutputVars(n.E, bound)...)
+		for _, g := range n.GroupBy {
+			if !innerOut[g] {
+				compilePanic("group-by variable %q is not an output of the aggregated expression", g)
+			}
+		}
+		return c.compile(n.E, bound, next)
+	case agca.Exists:
+		return c.compileExists(n, bound, next)
+	case agca.Div:
+		l := c.compileScalar(n.L, bound)
+		r := c.compileScalar(n.R, bound)
+		return func(m *machine, mult float64) {
+			if f := types.Div(l(m), r(m)).AsFloat(); f != 0 {
+				next(m, mult*f)
+			}
+		}
+	case agca.Func:
+		s := c.compileScalar(n, bound)
+		return func(m *machine, mult float64) {
+			if f := s(m).AsFloat(); f != 0 {
+				next(m, mult*f)
+			}
+		}
+	default:
+		compilePanic("unknown expression node %T", e)
+		return nil
+	}
+}
+
+func (c *compiler) boundSlot(name string, bound agca.VarSet) int {
+	if !bound[name] {
+		compilePanic("unbound variable %q", name)
+	}
+	return c.slot(name)
+}
+
+// compileAtom lowers a relation atom or map reference. Bound positions become
+// the probe plan (columns and value slots resolved now), unbound variables
+// become slot writes, and repeated unbound variables become equality checks —
+// all decided at compile time.
+func (c *compiler) compileAtom(name string, vars []string, bound agca.VarSet, next node) node {
+	arity := len(vars)
+	var probeCols, probeSlots []int // bound positions and the slots probed with
+	var writeSlots, writePos []int  // unbound first occurrences: slot <- tuple[pos]
+	var eqFirst, eqLater []int      // repeated unbound: tuple[eqFirst] == tuple[eqLater]
+	firstPos := map[string]int{}
+	for i, v := range vars {
+		if bound[v] {
+			probeCols = append(probeCols, i)
+			probeSlots = append(probeSlots, c.slot(v))
+			continue
+		}
+		if j, ok := firstPos[v]; ok {
+			eqFirst = append(eqFirst, j)
+			eqLater = append(eqLater, i)
+			continue
+		}
+		firstPos[v] = i
+		writeSlots = append(writeSlots, c.slot(v))
+		writePos = append(writePos, i)
+	}
+	valsID := len(c.valSizes)
+	c.valSizes = append(c.valSizes, len(probeCols))
+
+	row := func(m *machine, t types.Tuple, rowMult, mult float64) {
+		if len(t) != arity {
+			panic(&agca.EvalError{Msg: fmt.Sprintf(
+				"relation %q arity mismatch: tuple has %d columns, atom has %d variables", name, len(t), arity)})
+		}
+		for i := range eqFirst {
+			if !t[eqFirst[i]].Equal(t[eqLater[i]]) {
+				return
+			}
+		}
+		for i, s := range writeSlots {
+			m.regs[s] = t[writePos[i]]
+		}
+		next(m, mult*rowMult)
+	}
+
+	return func(m *machine, mult float64) {
+		if len(probeCols) > 0 && m.each != nil {
+			vals := m.vals[valsID]
+			for i, s := range probeSlots {
+				vals[i] = m.regs[s]
+			}
+			m.each.ProbeEach(name, probeCols, vals, func(e gmr.Entry) {
+				row(m, e.Tuple, e.Mult, mult)
+			})
+			return
+		}
+		// Scan fallback (databases without index probing, or no bound
+		// columns): filter on the bound positions in place.
+		m.db.Relation(name).Foreach(func(t types.Tuple, rowMult float64) {
+			if len(t) == arity {
+				for i, col := range probeCols {
+					if !m.regs[probeSlots[i]].Equal(t[col]) {
+						return
+					}
+				}
+			}
+			row(m, t, rowMult, mult)
+		})
+	}
+}
+
+// compileSum lowers bag union: every term runs over the same incoming row.
+// All terms must produce the same output-variable set (the interpreter's
+// union compatibility, checked statically here).
+func (c *compiler) compileSum(n agca.Sum, bound agca.VarSet, next node) node {
+	if len(n.Terms) == 0 {
+		return func(m *machine, mult float64) {}
+	}
+	outs := agca.NewVarSet(agca.OutputVars(n.Terms[0], bound)...)
+	for _, t := range n.Terms[1:] {
+		to := agca.NewVarSet(agca.OutputVars(t, bound)...)
+		if len(to) != len(outs) {
+			compilePanic("union of terms with different output variables")
+		}
+		for v := range to {
+			if !outs[v] {
+				compilePanic("union of terms with different output variables")
+			}
+		}
+	}
+	terms := make([]node, len(n.Terms))
+	for i, t := range n.Terms {
+		terms[i] = c.compile(t, bound, next)
+	}
+	if len(terms) == 2 {
+		a, b := terms[0], terms[1]
+		return func(m *machine, mult float64) {
+			a(m, mult)
+			b(m, mult)
+		}
+	}
+	return func(m *machine, mult float64) {
+		for _, t := range terms {
+			t(m, mult)
+		}
+	}
+}
+
+// compileProd lowers the sideways-binding product: the factors are chained
+// right to left so that each factor's node pushes into its right neighbour,
+// with the set of bound variables growing left to right exactly as in the
+// interpreter.
+func (c *compiler) compileProd(n agca.Prod, bound agca.VarSet, next node) node {
+	bounds := make([]agca.VarSet, len(n.Factors))
+	cur := bound
+	for i, f := range n.Factors {
+		bounds[i] = cur
+		nxt := cur.Clone()
+		nxt.AddAll(agca.OutputVars(f, cur))
+		cur = nxt
+	}
+	out := next
+	for i := len(n.Factors) - 1; i >= 0; i-- {
+		out = c.compile(n.Factors[i], bounds[i], out)
+	}
+	return out
+}
+
+// compileLift lowers x := Q: an unbound x binds its slot to the scalar value
+// of Q with multiplicity 1; a bound x becomes an equality filter.
+func (c *compiler) compileLift(n agca.Lift, bound agca.VarSet, next node) node {
+	body := c.compileScalar(n.E, bound)
+	if bound[n.Var] {
+		s := c.slot(n.Var)
+		return func(m *machine, mult float64) {
+			if m.regs[s].Equal(body(m)) {
+				next(m, mult)
+			}
+		}
+	}
+	s := c.slot(n.Var)
+	return func(m *machine, mult float64) {
+		m.regs[s] = body(m)
+		next(m, mult)
+	}
+}
+
+// compileExists lowers the domain-extraction operator. Exists is non-linear
+// in multiplicities (every tuple with non-zero total multiplicity counts
+// once), so the inner result is materialized into a scratch map keyed on the
+// inner output slots before each surviving group is pushed with multiplicity
+// one.
+func (c *compiler) compileExists(n agca.Exists, bound agca.VarSet, next node) node {
+	outs := agca.OutputVars(n.E, bound)
+	outSlots := make([]int, len(outs))
+	for i, v := range outs {
+		outSlots[i] = c.slot(v)
+	}
+	scratchID := c.nScratch
+	c.nScratch++
+	inner := c.compile(n.E, bound, func(m *machine, mult float64) {
+		if mult == 0 {
+			return
+		}
+		sm := m.scratch[scratchID]
+		m.keyBuf = m.keyBuf[:0]
+		for i, s := range outSlots {
+			if i > 0 {
+				m.keyBuf = append(m.keyBuf, '|')
+			}
+			m.keyBuf = m.regs[s].EncodeKey(m.keyBuf)
+		}
+		if e, ok := sm[string(m.keyBuf)]; ok {
+			e.sum += mult
+			sm[string(m.keyBuf)] = e
+			return
+		}
+		t := make(types.Tuple, len(outSlots))
+		for i, s := range outSlots {
+			t[i] = m.regs[s]
+		}
+		sm[string(m.keyBuf)] = aggEntry{tuple: t, sum: mult}
+	})
+	return func(m *machine, mult float64) {
+		if m.scratch[scratchID] == nil {
+			m.scratch[scratchID] = map[string]aggEntry{}
+		}
+		sm := m.scratch[scratchID]
+		inner(m, 1)
+		for _, e := range sm {
+			if math.Abs(e.sum) <= gmr.Epsilon {
+				continue
+			}
+			for i, s := range outSlots {
+				m.regs[s] = e.tuple[i]
+			}
+			next(m, mult)
+		}
+		clear(sm)
+	}
+}
+
+// compileScalar lowers an expression in scalar position, mirroring
+// agca.EvalScalar including its fallback: a relational subexpression whose
+// output variables are all statically bound (or that is nullary) evaluates to
+// the sum of its result multiplicities.
+func (c *compiler) compileScalar(e agca.Expr, bound agca.VarSet) scalar {
+	switch n := e.(type) {
+	case agca.Const:
+		v := n.V
+		return func(m *machine) types.Value { return v }
+	case agca.Var:
+		s := c.boundSlot(n.Name, bound)
+		return func(m *machine) types.Value { return m.regs[s] }
+	case agca.Neg:
+		inner := c.compileScalar(n.E, bound)
+		return func(m *machine) types.Value { return types.Neg(inner(m)) }
+	case agca.Div:
+		l := c.compileScalar(n.L, bound)
+		r := c.compileScalar(n.R, bound)
+		return func(m *machine) types.Value { return types.Div(l(m), r(m)) }
+	case agca.Func:
+		args := make([]scalar, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = c.compileScalar(a, bound)
+		}
+		name := n.Name
+		// The argument buffer is reused across calls; argument evaluation may
+		// recurse into other Func nodes, which own their own buffers.
+		valsID := len(c.valSizes)
+		c.valSizes = append(c.valSizes, len(args))
+		return func(m *machine) types.Value {
+			vals := m.vals[valsID]
+			for i, a := range args {
+				vals[i] = a(m)
+			}
+			return agca.ApplyFunc(name, vals)
+		}
+	case agca.Sum:
+		terms := make([]scalar, len(n.Terms))
+		for i, t := range n.Terms {
+			terms[i] = c.compileScalar(t, bound)
+		}
+		return func(m *machine) types.Value {
+			acc := types.Value(types.Int(0))
+			for _, t := range terms {
+				acc = types.Add(acc, t(m))
+			}
+			return acc
+		}
+	case agca.Prod:
+		factors := make([]scalar, len(n.Factors))
+		for i, f := range n.Factors {
+			factors[i] = c.compileScalar(f, bound)
+		}
+		return func(m *machine) types.Value {
+			acc := types.Value(types.Int(1))
+			for _, f := range factors {
+				acc = types.Mul(acc, f(m))
+			}
+			return acc
+		}
+	case agca.Cmp:
+		l := c.compileScalar(n.L, bound)
+		r := c.compileScalar(n.R, bound)
+		op := n.Op
+		return func(m *machine) types.Value {
+			if agca.CompareHolds(op, l(m), r(m)) {
+				return types.Int(1)
+			}
+			return types.Int(0)
+		}
+	default:
+		// Relational fallback: all output variables must be statically bound
+		// (they then act as filters), and the value is the multiplicity total.
+		for _, v := range agca.OutputVars(e, bound) {
+			if !bound[v] {
+				compilePanic("scalar subquery with statically unbound output variable %q", v)
+			}
+		}
+		run := c.compile(e, bound, func(m *machine, mult float64) { m.scalarAcc += mult })
+		return func(m *machine) types.Value {
+			saved := m.scalarAcc
+			m.scalarAcc = 0
+			run(m, 1)
+			total := m.scalarAcc
+			m.scalarAcc = saved
+			return types.Float(total)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package exec compiles trigger-statement right-hand sides (AGCA
+// expressions) into closure-based executors, replacing the tree-walking
+// interpreter on the per-event hot path.
+//
+// A statement is compiled once into a static pipeline of node closures over a
+// small register machine: every variable gets a fixed slot, relation and map
+// atoms resolve their schema positions and probe plans at compile time,
+// constants, comparisons and lifted scalars fold into scalar closures with no
+// intermediate GMRs, and results are emitted as keyed adds into a
+// caller-supplied accumulator through a reused key buffer. The pipeline is
+// push-based with sideways information passing, mirroring the interpreter's
+// product semantics: each factor's closure binds its output slots and invokes
+// the next factor once per matching row, so per-event work is proportional to
+// the delta, not to interpreter overhead.
+//
+// Expressions the compiler cannot lower (union-incompatible sums, scalar
+// subqueries with statically unbound outputs, ...) report a compile error and
+// the engine falls back to the interpreter for that statement, keeping the
+// two executors result-equivalent by construction.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/types"
+)
+
+// Accum receives the rows an executor emits: keyed multiplicity adds. Both
+// *gmr.GMR and the engine's *View implement it. The key bytes and the tuple
+// are only valid during the call; implementations must copy what they retain
+// (gmr.AddEncoded clones the tuple on insert).
+type Accum interface {
+	AddEncoded(key []byte, t types.Tuple, m float64) float64
+}
+
+// node is one stage of the compiled pipeline: it receives the multiplicity
+// accumulated by the stages to its left (with variable bindings already
+// written to the machine's register slots) and pushes each of its result rows
+// to the next stage.
+type node func(m *machine, mult float64)
+
+// scalar is a compiled scalar expression evaluated over the register slots.
+type scalar func(m *machine) types.Value
+
+// aggEntry is one group of a materialization point (Exists, scalar
+// subqueries): the group's slot values and its accumulated multiplicity.
+type aggEntry struct {
+	tuple types.Tuple
+	sum   float64
+}
+
+// machine is the mutable per-run state of an executor: the variable register
+// file, scratch buffers for probe values, emission keys and materialization
+// maps, and the run's database and accumulator. Machines are pooled per
+// executor; an executor itself is immutable and safe for concurrent Run calls
+// (each run draws its own machine).
+type machine struct {
+	regs []types.Value
+	// vals holds one probe-value buffer per relation/map atom.
+	vals [][]types.Value
+	// scratch holds one lazily created materialization map per Exists or
+	// scalar-subquery node; maps are cleared (retaining buckets) after use.
+	scratch []map[string]aggEntry
+	// keyBuf is the shared key-encoding buffer. Uses never span a downstream
+	// call: every node builds its key, consumes it, and returns before pushing
+	// rows further, so one buffer serves all nodes of the pipeline.
+	keyBuf   []byte
+	keyTuple types.Tuple
+	// scalarAcc accumulates the multiplicity sum of a scalar subquery; nested
+	// subqueries save and restore it.
+	scalarAcc float64
+
+	db   agca.Database
+	each agca.EachProber
+	acc  Accum
+}
+
+// Executor is one compiled statement: run it once per event.
+type Executor struct {
+	root     node
+	nArgs    int
+	nRegs    int
+	valSizes []int
+	nScratch int
+	keySlots []int
+	pool     sync.Pool
+}
+
+func (x *Executor) newMachine() *machine {
+	m := &machine{
+		regs:     make([]types.Value, x.nRegs),
+		vals:     make([][]types.Value, len(x.valSizes)),
+		scratch:  make([]map[string]aggEntry, x.nScratch),
+		keyBuf:   make([]byte, 0, 64),
+		keyTuple: make(types.Tuple, len(x.keySlots)),
+	}
+	for i, n := range x.valSizes {
+		m.vals[i] = make([]types.Value, n)
+	}
+	return m
+}
+
+// Run executes the compiled statement: args is the event tuple (one value per
+// trigger argument, in trigger-argument order), db provides the relations and
+// materialized maps the statement reads, and every result row is added into
+// acc keyed by the statement's target keys. Semantic errors (the interpreter's
+// *agca.EvalError panics) are returned as errors.
+func (x *Executor) Run(db agca.Database, args types.Tuple, acc Accum) (err error) {
+	if len(args) != x.nArgs {
+		return fmt.Errorf("exec: event carries %d values, executor expects %d", len(args), x.nArgs)
+	}
+	m, _ := x.pool.Get().(*machine)
+	if m == nil {
+		m = x.newMachine()
+	}
+	m.db = db
+	m.each, _ = db.(agca.EachProber)
+	m.acc = acc
+	// Trigger arguments occupy slots 0..nArgs-1 by construction.
+	copy(m.regs[:x.nArgs], args)
+	defer func() {
+		m.db, m.each, m.acc = nil, nil, nil
+		if r := recover(); r != nil {
+			// A panic mid-pipeline can leave materialization scratch maps
+			// partially filled (their nodes clear them only on normal exit);
+			// scrub them so the pooled machine starts clean.
+			for _, sm := range m.scratch {
+				clear(sm)
+			}
+			x.pool.Put(m)
+			if ee, ok := r.(*agca.EvalError); ok {
+				err = ee
+				return
+			}
+			panic(r)
+		}
+		x.pool.Put(m)
+	}()
+	x.root(m, 1)
+	return nil
+}
+
+// emit builds the final emission node reading the target-key slots.
+func emit(keySlots []int) node {
+	return func(m *machine, mult float64) {
+		if mult == 0 {
+			return
+		}
+		for i, s := range keySlots {
+			m.keyTuple[i] = m.regs[s]
+		}
+		m.keyBuf = m.keyTuple.AppendKey(m.keyBuf[:0])
+		m.acc.AddEncoded(m.keyBuf, m.keyTuple, mult)
+	}
+}

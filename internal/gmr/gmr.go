@@ -119,9 +119,11 @@ func (g *GMR) ForeachKeyed(fn func(key string, t types.Tuple, m float64)) {
 // AddKeyed is Add for callers that already hold the tuple's canonical encoded
 // key (as produced by Tuple.EncodeKey); it skips re-encoding. It returns the
 // tuple's new multiplicity (0 when the entry was removed or never created).
+// Like Add, a zero m leaves the GMR unchanged and returns 0 without looking
+// the key up.
 func (g *GMR) AddKeyed(key string, t types.Tuple, m float64) float64 {
 	if m == 0 {
-		return g.rows[key].Mult
+		return 0
 	}
 	if len(t) != len(g.schema) {
 		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
@@ -138,6 +140,45 @@ func (g *GMR) AddKeyed(key string, t types.Tuple, m float64) float64 {
 	}
 	g.rows[key] = e
 	return e.Mult
+}
+
+// AddEncoded is AddKeyed for callers holding the key as a byte slice (built
+// with Tuple.AppendKey into a reused buffer). The bytes are only converted to
+// a string — the one allocation of the insert path — when a new entry is
+// created; lookups and in-place updates allocate nothing. The tuple is cloned
+// on insert, so callers may reuse both buffers.
+func (g *GMR) AddEncoded(key []byte, t types.Tuple, m float64) float64 {
+	if m == 0 {
+		return 0
+	}
+	if len(t) != len(g.schema) {
+		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
+	}
+	e, ok := g.rows[string(key)]
+	if !ok {
+		g.rows[string(key)] = Entry{Tuple: t.Clone(), Mult: m}
+		return m
+	}
+	e.Mult += m
+	if math.Abs(e.Mult) <= Epsilon {
+		delete(g.rows, string(key))
+		return 0
+	}
+	g.rows[string(key)] = e
+	return e.Mult
+}
+
+// GetEncoded returns the multiplicity stored under the encoded key (0 if
+// absent) without allocating.
+func (g *GMR) GetEncoded(key []byte) float64 {
+	return g.rows[string(key)].Mult
+}
+
+// LookupEncoded returns the entry stored under the encoded key, if any,
+// without allocating.
+func (g *GMR) LookupEncoded(key []byte) (Entry, bool) {
+	e, ok := g.rows[string(key)]
+	return e, ok
 }
 
 // Entries returns the entries of the GMR sorted by tuple key; the order is
@@ -167,6 +208,10 @@ func (g *GMR) Clone() *GMR {
 // Clear removes all entries.
 func (g *GMR) Clear() { g.rows = make(map[string]Entry) }
 
+// Reset removes all entries but keeps the allocated buckets, so a scratch GMR
+// reused across events stops allocating once it has grown to working-set size.
+func (g *GMR) Reset() { clear(g.rows) }
+
 // MergeInto adds every entry of o (scaled by factor) into g. The schemas must
 // be identical; it is the GMR ring's "+" applied in place.
 func (g *GMR) MergeInto(o *GMR, factor float64) {
@@ -190,23 +235,29 @@ func AddGMR(a, b *GMR) *GMR {
 	return out
 }
 
-// Negate returns -g.
+// Negate returns -g. Entries keep their canonical keys, so no tuple is
+// re-encoded.
 func Negate(g *GMR) *GMR {
 	out := New(g.schema)
-	for _, e := range g.rows {
-		out.Add(e.Tuple, -e.Mult)
+	for k, e := range g.rows {
+		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: -e.Mult}
 	}
 	return out
 }
 
-// Scale returns g with every multiplicity multiplied by f.
+// Scale returns g with every multiplicity multiplied by f. Entries keep their
+// canonical keys, so no tuple is re-encoded.
 func Scale(g *GMR, f float64) *GMR {
 	out := New(g.schema)
 	if f == 0 {
 		return out
 	}
-	for _, e := range g.rows {
-		out.Add(e.Tuple, e.Mult*f)
+	for k, e := range g.rows {
+		m := e.Mult * f
+		if math.Abs(m) <= Epsilon {
+			continue
+		}
+		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: m}
 	}
 	return out
 }
@@ -237,40 +288,71 @@ func Equal(a, b *GMR, tol float64) bool {
 
 // Join returns the natural join (ring product) of a and b. Shared columns must
 // agree; the result schema is a's schema followed by b's columns not in a, and
-// multiplicities multiply.
+// multiplicities multiply. The smaller side is hashed on the shared columns
+// and the larger side probes it, so the cost is O(|a| + |b| + |result|); with
+// no shared columns every pair matches and the result is the cross product.
 func Join(a, b *GMR) *GMR {
-	shared := make([]int, 0, len(b.schema)) // index in a for each shared b column
-	bExtra := make([]int, 0, len(b.schema)) // positions of b columns not in a
+	aShared := make([]int, 0, len(b.schema)) // positions in a of the shared columns
+	bShared := make([]int, 0, len(b.schema)) // matching positions in b
+	bExtra := make([]int, 0, len(b.schema))  // positions of b columns not in a
 	outSchema := a.schema.Clone()
 	for bi, name := range b.schema {
 		if ai := a.schema.Index(name); ai >= 0 {
-			shared = append(shared, ai)
-			shared = append(shared, bi)
+			aShared = append(aShared, ai)
+			bShared = append(bShared, bi)
 		} else {
 			bExtra = append(bExtra, bi)
 			outSchema = append(outSchema, name)
 		}
 	}
 	out := New(outSchema)
-	// Hash the smaller side on the shared columns.
-	for _, ea := range a.rows {
+	if len(a.rows) == 0 || len(b.rows) == 0 {
+		return out
+	}
+
+	emit := func(ea, eb Entry) {
+		t := make(types.Tuple, 0, len(outSchema))
+		t = append(t, ea.Tuple...)
+		for _, bi := range bExtra {
+			t = append(t, eb.Tuple[bi])
+		}
+		out.Add(t, ea.Mult*eb.Mult)
+	}
+
+	// Hash the smaller side on the shared columns; probe with the larger. The
+	// join-key encoding reuses one buffer across rows.
+	var keyBuf []byte
+	joinKey := func(t types.Tuple, cols []int) []byte {
+		keyBuf = keyBuf[:0]
+		for i, c := range cols {
+			if i > 0 {
+				keyBuf = append(keyBuf, '|')
+			}
+			keyBuf = t[c].EncodeKey(keyBuf)
+		}
+		return keyBuf
+	}
+	if len(a.rows) <= len(b.rows) {
+		index := make(map[string][]Entry, len(a.rows))
+		for _, ea := range a.rows {
+			k := joinKey(ea.Tuple, aShared)
+			index[string(k)] = append(index[string(k)], ea)
+		}
 		for _, eb := range b.rows {
-			ok := true
-			for i := 0; i < len(shared); i += 2 {
-				if !ea.Tuple[shared[i]].Equal(eb.Tuple[shared[i+1]]) {
-					ok = false
-					break
-				}
+			for _, ea := range index[string(joinKey(eb.Tuple, bShared))] {
+				emit(ea, eb)
 			}
-			if !ok {
-				continue
-			}
-			t := make(types.Tuple, 0, len(outSchema))
-			t = append(t, ea.Tuple...)
-			for _, bi := range bExtra {
-				t = append(t, eb.Tuple[bi])
-			}
-			out.Add(t, ea.Mult*eb.Mult)
+		}
+		return out
+	}
+	index := make(map[string][]Entry, len(b.rows))
+	for _, eb := range b.rows {
+		k := joinKey(eb.Tuple, bShared)
+		index[string(k)] = append(index[string(k)], eb)
+	}
+	for _, ea := range a.rows {
+		for _, eb := range index[string(joinKey(ea.Tuple, aShared))] {
+			emit(ea, eb)
 		}
 	}
 	return out

@@ -1,0 +1,243 @@
+package gmr
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+// TestAddKeyedZeroMatchesAdd pins the m == 0 contract shared by Add,
+// AddKeyed and AddEncoded: the GMR is unchanged and 0 is returned without
+// looking the tuple up — even when an entry exists under that key.
+func TestAddKeyedZeroMatchesAdd(t *testing.T) {
+	g := New(types.Schema{"a"})
+	g.Add(tup(1), 5)
+	key := tup(1).EncodeKey()
+	if got := g.Add(tup(1), 0); got != 0 {
+		t.Errorf("Add(t, 0) = %v, want 0", got)
+	}
+	if got := g.AddKeyed(key, tup(1), 0); got != 0 {
+		t.Errorf("AddKeyed(k, t, 0) = %v, want 0", got)
+	}
+	if got := g.AddEncoded([]byte(key), tup(1), 0); got != 0 {
+		t.Errorf("AddEncoded(k, t, 0) = %v, want 0", got)
+	}
+	if g.Get(tup(1)) != 5 {
+		t.Errorf("zero adds must leave the entry untouched, got %v", g.Get(tup(1)))
+	}
+}
+
+// TestAddEncodedMatchesAdd runs the byte-keyed variant against Add on a
+// random update sequence, reusing one key buffer throughout as the compiled
+// emission path does.
+func TestAddEncodedMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := New(types.Schema{"x", "y"})
+	b := New(types.Schema{"x", "y"})
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		tu := tup(int64(rng.Intn(10)), int64(rng.Intn(10)))
+		m := float64(rng.Intn(7) - 3)
+		want := a.Add(tu, m)
+		buf = tu.AppendKey(buf[:0])
+		got := b.AddEncoded(buf, tu, m)
+		if got != want {
+			t.Fatalf("step %d: AddEncoded = %v, Add = %v", i, got, want)
+		}
+		if b.GetEncoded(buf) != a.Get(tu) {
+			t.Fatalf("step %d: GetEncoded = %v, Get = %v", i, b.GetEncoded(buf), a.Get(tu))
+		}
+	}
+	if !Equal(a, b, 0) {
+		t.Fatalf("AddEncoded diverged from Add: %v vs %v", a, b)
+	}
+}
+
+func TestLookupEncoded(t *testing.T) {
+	g := FromRows(types.Schema{"a"}, []types.Tuple{tup(3)})
+	var buf []byte
+	e, ok := g.LookupEncoded(tup(3).AppendKey(buf))
+	if !ok || e.Mult != 1 || !e.Tuple.Equal(tup(3)) {
+		t.Fatalf("LookupEncoded = %v, %v", e, ok)
+	}
+	if _, ok := g.LookupEncoded(tup(4).AppendKey(buf)); ok {
+		t.Fatal("LookupEncoded found an absent tuple")
+	}
+}
+
+// TestAppendKeyMatchesEncodeKey pins that the buffer-based encoding and the
+// string encoding are byte-identical, including the int/float coercion of
+// integral floats.
+func TestAppendKeyMatchesEncodeKey(t *testing.T) {
+	tuples := []types.Tuple{
+		{},
+		tup(1, 2, 3),
+		{types.Str("a|b"), types.Int(-7)},
+		{types.Float(2.0), types.Int(2)},
+		{types.Float(2.5), types.Bool(true), types.Null()},
+	}
+	for _, tu := range tuples {
+		if got := string(tu.AppendKey(nil)); got != tu.EncodeKey() {
+			t.Errorf("AppendKey(%v) = %q, EncodeKey = %q", tu, got, tu.EncodeKey())
+		}
+	}
+}
+
+// TestNegateScaleKeepKeys asserts the keyed Negate/Scale rewrite: results
+// carry the same canonical keys (no re-encoding) and the right multiplicities.
+func TestNegateScaleKeepKeys(t *testing.T) {
+	g := FromRows(types.Schema{"a", "b"}, []types.Tuple{tup(1, 2), tup(3, 4)})
+	g.Add(tup(3, 4), 1.5)
+	for name, out := range map[string]*GMR{"Negate": Negate(g), "Scale": Scale(g, -2)} {
+		f := -1.0
+		if name == "Scale" {
+			f = -2.0
+		}
+		if out.Len() != g.Len() {
+			t.Fatalf("%s changed the entry count", name)
+		}
+		out.ForeachKeyed(func(key string, tu types.Tuple, m float64) {
+			if key != tu.EncodeKey() {
+				t.Errorf("%s: key %q is not canonical for %v", name, key, tu)
+			}
+			if want := g.Get(tu) * f; m != want {
+				t.Errorf("%s: multiplicity of %v = %v, want %v", name, tu, m, want)
+			}
+		})
+	}
+	if Scale(g, 0).Len() != 0 {
+		t.Error("Scale by 0 should be empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := FromRows(types.Schema{"a"}, []types.Tuple{tup(1), tup(2)})
+	g.Reset()
+	if g.Len() != 0 {
+		t.Fatalf("Reset left %d entries", g.Len())
+	}
+	g.Add(tup(5), 2)
+	if g.Get(tup(5)) != 2 {
+		t.Fatal("GMR unusable after Reset")
+	}
+}
+
+// joinNestedLoop is the reference O(n*m) implementation the hash join
+// replaced; the property test below holds the two equal on random inputs.
+func joinNestedLoop(a, b *GMR) *GMR {
+	shared := make([]int, 0, len(b.schema))
+	bExtra := make([]int, 0, len(b.schema))
+	outSchema := a.schema.Clone()
+	for bi, name := range b.schema {
+		if ai := a.schema.Index(name); ai >= 0 {
+			shared = append(shared, ai, bi)
+		} else {
+			bExtra = append(bExtra, bi)
+			outSchema = append(outSchema, name)
+		}
+	}
+	out := New(outSchema)
+	for _, ea := range a.rows {
+		for _, eb := range b.rows {
+			ok := true
+			for i := 0; i < len(shared); i += 2 {
+				if !ea.Tuple[shared[i]].Equal(eb.Tuple[shared[i+1]]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			tu := make(types.Tuple, 0, len(outSchema))
+			tu = append(tu, ea.Tuple...)
+			for _, bi := range bExtra {
+				tu = append(tu, eb.Tuple[bi])
+			}
+			out.Add(tu, ea.Mult*eb.Mult)
+		}
+	}
+	return out
+}
+
+// TestHashJoinMatchesNestedLoop exercises both build directions (either side
+// smaller), shared-column overlap, numeric coercion across int/float keys,
+// and the zero-shared-column cross product.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schemas := []struct{ as, bs types.Schema }{
+		{types.Schema{"x", "y"}, types.Schema{"y", "z"}},
+		{types.Schema{"x", "y"}, types.Schema{"y", "x"}},
+		{types.Schema{"x"}, types.Schema{"z"}}, // no shared columns: cross product
+	}
+	for _, sc := range schemas {
+		for trial := 0; trial < 20; trial++ {
+			na, nb := rng.Intn(12), rng.Intn(12)
+			a, b := New(sc.as), New(sc.bs)
+			for i := 0; i < na; i++ {
+				a.Add(randTuple(rng, len(sc.as)), float64(rng.Intn(5)-2))
+			}
+			for i := 0; i < nb; i++ {
+				b.Add(randTuple(rng, len(sc.bs)), float64(rng.Intn(5)-2))
+			}
+			want := joinNestedLoop(a, b)
+			got := Join(a, b)
+			if !Equal(want, got, 1e-12) {
+				t.Fatalf("hash join diverged for %v ⋈ %v:\nwant %v\ngot  %v", a, b, want, got)
+			}
+		}
+	}
+}
+
+// TestJoinCrossProductSize pins the zero-shared-column case explicitly: the
+// result is the full cross product with multiplied multiplicities.
+func TestJoinCrossProductSize(t *testing.T) {
+	a := FromRows(types.Schema{"x"}, []types.Tuple{tup(1), tup(2), tup(3)})
+	b := FromRows(types.Schema{"z"}, []types.Tuple{tup(10), tup(20)})
+	out := Join(a, b)
+	if out.Len() != 6 {
+		t.Fatalf("cross product has %d entries, want 6", out.Len())
+	}
+	if got := out.Get(tup(2, 20)); got != 1 {
+		t.Fatalf("multiplicity of (2,20) = %v, want 1", got)
+	}
+}
+
+func randTuple(rng *rand.Rand, n int) types.Tuple {
+	tu := make(types.Tuple, n)
+	for i := range tu {
+		switch rng.Intn(8) {
+		case 0, 1:
+			// Integral float: must join against the equal int.
+			tu[i] = types.Float(float64(rng.Intn(4)))
+		case 2:
+			// Booleans coerce numerically: Bool(true) joins Int(1).
+			tu[i] = types.Bool(rng.Intn(2) == 0)
+		case 3:
+			// Large integral float beyond the old 1e15 coercion window.
+			tu[i] = types.Float(1e15 * float64(1+rng.Intn(2)))
+		case 4:
+			tu[i] = types.Int(int64(1e15) * int64(1+rng.Intn(2)))
+		default:
+			tu[i] = types.Int(int64(rng.Intn(4)))
+		}
+	}
+	return tu
+}
+
+// TestJoinCoercedKeys pins that hash-join probing matches Value.Equal's
+// numeric coercion: booleans against 0/1 and integral floats beyond 1e15
+// against the equal int must still join.
+func TestJoinCoercedKeys(t *testing.T) {
+	a := New(types.Schema{"k", "x"})
+	a.Add(types.Tuple{types.Bool(true), types.Int(1)}, 1)
+	a.Add(types.Tuple{types.Float(1e15), types.Int(2)}, 1)
+	b := New(types.Schema{"k"})
+	b.Add(types.Tuple{types.Int(1)}, 1)
+	b.Add(types.Tuple{types.Int(1e15)}, 1)
+	out := Join(a, b)
+	if out.Len() != 2 {
+		t.Fatalf("coerced keys failed to join: %v", out)
+	}
+}

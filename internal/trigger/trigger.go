@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"dbtoaster/internal/agca"
+	"dbtoaster/internal/exec"
 )
 
 // StmtKind distinguishes incremental updates from full replacement.
@@ -33,6 +34,26 @@ type Statement struct {
 	// it drives the execution order inside a trigger so that shallower maps
 	// read the old versions of deeper maps.
 	Depth int
+
+	// compiled caches the closure-based executor for the statement's RHS (or
+	// the compile error that sent it back to the interpreter). Compilation is
+	// lazy and not synchronized: Executor must be called from the engine's
+	// driving goroutine, matching the engine's single-writer contract.
+	compiled     *exec.Executor
+	compileErr   error
+	compileTried bool
+}
+
+// Executor returns the compiled executor for the statement under the given
+// trigger arguments, compiling on first call. A non-nil error means the
+// statement's shape is not lowered by the compiler and the caller should use
+// the interpreter.
+func (s *Statement) Executor(args []string) (*exec.Executor, error) {
+	if !s.compileTried {
+		s.compileTried = true
+		s.compiled, s.compileErr = exec.CompileStatement(s.RHS, s.TargetKeys, args)
+	}
+	return s.compiled, s.compileErr
 }
 
 // String renders the statement in the paper's notation.

@@ -14,13 +14,22 @@ func (t Tuple) EncodeKey() string {
 		return ""
 	}
 	buf := make([]byte, 0, 16*len(t))
+	return string(t.AppendKey(buf))
+}
+
+// AppendKey appends the canonical key encoding of the tuple (the same bytes
+// EncodeKey converts to a string) to dst and returns the extended slice. Hot
+// paths use it with a reused buffer so that key construction allocates
+// nothing; the bytes are only copied into a string when an entry is actually
+// inserted into a map.
+func (t Tuple) AppendKey(dst []byte) []byte {
 	for i, v := range t {
 		if i > 0 {
-			buf = append(buf, '|')
+			dst = append(dst, '|')
 		}
-		buf = v.EncodeKey(buf)
+		dst = v.EncodeKey(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // Clone returns a copy of the tuple.

@@ -259,9 +259,12 @@ func Neg(v Value) Value {
 	return Float(-v.AsFloat())
 }
 
-// EncodeKey appends a canonical, injective encoding of v to dst. The encoding
-// is used to build map keys for tuples; equal values (after int/float
-// coercion of integral floats) encode identically.
+// EncodeKey appends a canonical encoding of v to dst. The encoding is used to
+// build map keys for tuples and hash-join probes, so values that Compare as
+// equal must encode identically: booleans share the encoding of 0/1 and
+// integral floats that fit an int64 exactly share the encoding of the equal
+// integer. (Beyond 2^62 the int/float coercion of Compare is lossy either
+// way; such keys stay float-encoded.)
 func (v Value) EncodeKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
@@ -270,9 +273,7 @@ func (v Value) EncodeKey(dst []byte) []byte {
 		dst = append(dst, 'i')
 		return strconv.AppendInt(dst, v.i, 10)
 	case KindFloat:
-		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
-			// Integral floats share the encoding of the equal integer so that
-			// join keys computed through float arithmetic still match.
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1<<62 {
 			dst = append(dst, 'i')
 			return strconv.AppendInt(dst, int64(v.f), 10)
 		}
@@ -284,10 +285,12 @@ func (v Value) EncodeKey(dst []byte) []byte {
 		dst = append(dst, ':')
 		return append(dst, v.s...)
 	case KindBool:
+		// Compare coerces booleans numerically (Bool(true) == Int(1)), so the
+		// key encoding must coincide as well.
 		if v.i != 0 {
-			return append(dst, 'T')
+			return append(dst, 'i', '1')
 		}
-		return append(dst, 'F')
+		return append(dst, 'i', '0')
 	default:
 		return append(dst, '?')
 	}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput")
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput | gmr_memory")
 	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := flag.Float64("scale", 0.25, "stream scale factor")
 	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -85,6 +85,10 @@ func main() {
 		results := bench.ExecSweep(pick(workload.Names("")), opts)
 		fmt.Println("Statement executors — DBToaster refreshes per second, interpreter vs compiled:")
 		fmt.Print(bench.FormatExecTable(results))
+	case "gmr_memory":
+		results := bench.MemoryProfile(pick([]string{"Q1", "Q3", "Q6", "Q12", "Q18a", "VWAP", "MDDB1"}), opts)
+		fmt.Println("GMR storage — flat-store view accounting vs runtime heap (compiled replay):")
+		fmt.Print(bench.FormatMemoryTable(results))
 	case "fig2_features":
 		infos, err := bench.CompileAll()
 		if err != nil {

@@ -406,11 +406,10 @@ func EvalScalar(e Expr, db Database, env types.Env) types.Value {
 	}
 }
 
-// CompareHolds reports whether "l op r" holds under the calculus' comparison
-// semantics (types.Compare with numeric coercion). It is shared with the
-// compiled executors.
-func CompareHolds(op CmpOp, l, r types.Value) bool { return compareHolds(op, l, r) }
-
+// compareHolds reports whether "l op r" holds under the calculus' comparison
+// semantics (types.Compare with numeric coercion). The compiled executors
+// implement the same semantics with a per-operator outcome mask over
+// types.Compare (exec.cmpMaskFor).
 func compareHolds(op CmpOp, l, r types.Value) bool {
 	c := types.Compare(l, r)
 	switch op {
@@ -440,15 +439,17 @@ func evalFunc(f Func, db Database, env types.Env) types.Value {
 	return ApplyFunc(f.Name, args)
 }
 
-// ApplyFunc applies the named interpreted scalar function to already-evaluated
-// arguments. It is shared by the tree-walking interpreter and the compiled
-// executors (package exec) so both dispatch the same function semantics.
-func ApplyFunc(name string, args []types.Value) types.Value {
-	switch strings.ToLower(name) {
-	case "year":
+// ScalarFunc is one interpreted scalar function applied to already-evaluated
+// arguments.
+type ScalarFunc func(args []types.Value) types.Value
+
+// scalarFuncs maps lower-cased function names to their implementations.
+var scalarFuncs = map[string]ScalarFunc{
+	"year": func(args []types.Value) types.Value {
 		// Dates are encoded as yyyymmdd integers.
 		return types.Int(args[0].AsInt() / 10000)
-	case "substring":
+	},
+	"substring": func(args []types.Value) types.Value {
 		s := args[0].AsString()
 		start := int(args[1].AsInt())
 		length := int(args[2].AsInt())
@@ -463,11 +464,14 @@ func ApplyFunc(name string, args []types.Value) types.Value {
 			end = len(s)
 		}
 		return types.Str(s[start:end])
-	case "like":
+	},
+	"like": func(args []types.Value) types.Value {
 		return boolVal(likeMatch(args[0].AsString(), args[1].AsString()))
-	case "notlike":
+	},
+	"notlike": func(args []types.Value) types.Value {
 		return boolVal(!likeMatch(args[0].AsString(), args[1].AsString()))
-	case "listmax":
+	},
+	"listmax": func(args []types.Value) types.Value {
 		max := args[0]
 		for _, a := range args[1:] {
 			if types.Compare(a, max) > 0 {
@@ -475,7 +479,8 @@ func ApplyFunc(name string, args []types.Value) types.Value {
 			}
 		}
 		return max
-	case "listmin":
+	},
+	"listmin": func(args []types.Value) types.Value {
 		min := args[0]
 		for _, a := range args[1:] {
 			if types.Compare(a, min) < 0 {
@@ -483,13 +488,16 @@ func ApplyFunc(name string, args []types.Value) types.Value {
 			}
 		}
 		return min
-	case "abs":
+	},
+	"abs": func(args []types.Value) types.Value {
 		return types.Float(math.Abs(args[0].AsFloat()))
-	case "vec_length":
+	},
+	"vec_length": func(args []types.Value) types.Value {
 		// vec_length(dx, dy, dz): Euclidean norm, used by MDDB1.
 		dx, dy, dz := args[0].AsFloat(), args[1].AsFloat(), args[2].AsFloat()
 		return types.Float(math.Sqrt(dx*dx + dy*dy + dz*dz))
-	case "dihedral_angle":
+	},
+	"dihedral_angle": func(args []types.Value) types.Value {
 		// Simplified dihedral angle over four points (x,y,z each); only the
 		// statistical shape matters for the MDDB workload.
 		if len(args) >= 12 {
@@ -500,7 +508,8 @@ func ApplyFunc(name string, args []types.Value) types.Value {
 			return types.Float(math.Mod(v, math.Pi))
 		}
 		return types.Float(0)
-	case "in_list":
+	},
+	"in_list": func(args []types.Value) types.Value {
 		// in_list(x, c1, c2, ...): membership test.
 		for _, a := range args[1:] {
 			if args[0].Equal(a) {
@@ -508,10 +517,26 @@ func ApplyFunc(name string, args []types.Value) types.Value {
 			}
 		}
 		return types.Int(0)
-	default:
+	},
+}
+
+// ResolveFunc returns the implementation of the named scalar function, if
+// any. The compiled executors resolve the name once at statement-compile
+// time instead of paying the case-folded dispatch per row.
+func ResolveFunc(name string) (ScalarFunc, bool) {
+	fn, ok := scalarFuncs[strings.ToLower(name)]
+	return fn, ok
+}
+
+// ApplyFunc applies the named interpreted scalar function to already-evaluated
+// arguments. It is shared by the tree-walking interpreter and the compiled
+// executors (package exec) so both dispatch the same function semantics.
+func ApplyFunc(name string, args []types.Value) types.Value {
+	fn, ok := ResolveFunc(name)
+	if !ok {
 		evalPanic("unknown function %q", name)
-		return types.Value{}
 	}
+	return fn(args)
 }
 
 func boolVal(b bool) types.Value {

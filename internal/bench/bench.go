@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -62,33 +63,43 @@ func DefaultOptions() Options {
 	return Options{Scale: 0.25, Seed: 1, Budget: 2 * time.Second}
 }
 
-// Run replays the workload's stream through the query compiled with the given
-// system and measures the sustained view refresh rate (one refresh per
-// event, as in the paper: every update leaves the view fresh).
-func Run(spec workload.Spec, sys System, opts Options) Result {
-	res := Result{Query: spec.Name, System: sys.Name}
-	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(sys.Mode))
+// setup compiles the query in the given mode, loads statics, initializes
+// the engine under opts and materializes the (possibly truncated) event
+// stream — the common scaffolding of every replay-based experiment.
+func setup(spec workload.Spec, mode compiler.Mode, opts Options) (*engine.Engine, []engine.Event, error) {
+	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(mode))
 	if err != nil {
-		res.Err = err
-		return res
+		return nil, nil, err
 	}
-	res.NumMaps = len(prog.Maps)
 	eng := engine.New(prog)
 	eng.SetExecMode(opts.Exec)
+	if opts.Shards > 0 {
+		eng.SetShards(opts.Shards)
+	}
 	for name, data := range spec.Statics() {
 		eng.LoadStatic(name, data)
 	}
 	if err := eng.Init(); err != nil {
-		res.Err = err
-		return res
+		return nil, nil, err
 	}
 	events := spec.Stream(opts.Scale, opts.Seed)
 	if opts.MaxEvents > 0 && len(events) > opts.MaxEvents {
 		events = events[:opts.MaxEvents]
 	}
-	if opts.Shards > 0 {
-		eng.SetShards(opts.Shards)
+	return eng, events, nil
+}
+
+// Run replays the workload's stream through the query compiled with the given
+// system and measures the sustained view refresh rate (one refresh per
+// event, as in the paper: every update leaves the view fresh).
+func Run(spec workload.Spec, sys System, opts Options) Result {
+	res := Result{Query: spec.Name, System: sys.Name}
+	eng, events, err := setup(spec, sys.Mode, opts)
+	if err != nil {
+		res.Err = err
+		return res
 	}
+	res.NumMaps = len(eng.Program().Maps)
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.Budget > 0 {
@@ -318,6 +329,90 @@ func FormatExecTable(results []Result) string {
 	return b.String()
 }
 
+// MemoryResult is one row of the gmr_memory experiment: the engine's own
+// view accounting (exact arena/slot/index byte counts from the flat store)
+// against the Go runtime's heap numbers around the same replay.
+type MemoryResult struct {
+	Query      string
+	Events     int
+	ViewBytes  int    // engine.MemoryBytes: flat-store arena accounting + index postings
+	HeapBefore uint64 // runtime HeapAlloc after warmup GC, before the replay
+	HeapAfter  uint64 // runtime HeapAlloc after the replay and a GC
+	AllocBytes uint64 // TotalAlloc delta over the replay (allocation churn)
+	Err        error
+}
+
+// MemoryProfile replays each query in DBToaster mode (compiled executors)
+// and reports the engine's view memory accounting next to runtime.MemStats
+// taken before and after the replay. The comparison keeps MemSize honest:
+// the flat store's self-reported bytes should track the live heap the replay
+// leaves behind.
+func MemoryProfile(queries []string, opts Options) []MemoryResult {
+	var out []MemoryResult
+	for _, q := range queries {
+		res := MemoryResult{Query: q}
+		spec, ok := workload.Get(q)
+		if !ok {
+			res.Err = fmt.Errorf("unknown query %q", q)
+			out = append(out, res)
+			continue
+		}
+		eng, events, err := setup(spec, compiler.ModeDBToaster, opts)
+		if err != nil {
+			res.Err = err
+			out = append(out, res)
+			continue
+		}
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		res.HeapBefore = ms.HeapAlloc
+		allocBefore := ms.TotalAlloc
+		deadline := time.Time{}
+		if opts.Budget > 0 {
+			deadline = time.Now().Add(opts.Budget)
+		}
+		for i, ev := range events {
+			if err := eng.Apply(ev); err != nil {
+				res.Err = fmt.Errorf("event %d: %w", i, err)
+				break
+			}
+			res.Events++
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		res.HeapAfter = ms.HeapAlloc
+		res.AllocBytes = ms.TotalAlloc - allocBefore
+		res.ViewBytes = eng.MemoryBytes()
+		out = append(out, res)
+	}
+	return out
+}
+
+// FormatMemoryTable renders the gmr_memory experiment.
+func FormatMemoryTable(results []MemoryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %12s %12s %12s %14s\n",
+		"Query", "events", "viewKB", "heapPreKB", "heapPostKB", "allocKB/event")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-10s %9s error: %v\n", r.Query, "-", r.Err)
+			continue
+		}
+		perEvent := 0.0
+		if r.Events > 0 {
+			perEvent = float64(r.AllocBytes) / 1024 / float64(r.Events)
+		}
+		fmt.Fprintf(&b, "%-10s %9d %12.1f %12.1f %12.1f %14.3f\n",
+			r.Query, r.Events, float64(r.ViewBytes)/1024,
+			float64(r.HeapBefore)/1024, float64(r.HeapAfter)/1024, perEvent)
+	}
+	return b.String()
+}
+
 // TracePoint is one sample of the Figure 8–10 traces: view refresh rate and
 // memory footprint after processing a fraction of the stream.
 type TracePoint struct {
@@ -331,21 +426,9 @@ type TracePoint struct {
 // by auxiliary views at regular fractions, reproducing the per-query trace
 // figures.
 func Trace(spec workload.Spec, sys System, opts Options, samples int) ([]TracePoint, error) {
-	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(sys.Mode))
+	eng, events, err := setup(spec, sys.Mode, opts)
 	if err != nil {
 		return nil, err
-	}
-	eng := engine.New(prog)
-	eng.SetExecMode(opts.Exec)
-	for name, data := range spec.Statics() {
-		eng.LoadStatic(name, data)
-	}
-	if err := eng.Init(); err != nil {
-		return nil, err
-	}
-	events := spec.Stream(opts.Scale, opts.Seed)
-	if opts.MaxEvents > 0 && len(events) > opts.MaxEvents {
-		events = events[:opts.MaxEvents]
 	}
 	if samples < 1 {
 		samples = 10

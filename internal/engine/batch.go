@@ -82,6 +82,10 @@ type stmtPlan struct {
 	// exec is the statement's compiled executor; nil when compilation failed
 	// (the statement stays on the interpreter) or the engine runs ExecInterp.
 	exec *exec.Executor
+	// cache is the sequential path's dedicated executor machine (only the
+	// engine's driving goroutine runs it; the batched path's concurrent
+	// chunk workers draw pooled machines through Run instead).
+	cache exec.MachineCache
 	// directEmit marks compiled increments whose RHS does not read their own
 	// target: the sequential path emits straight into the view.
 	directEmit bool
@@ -99,9 +103,17 @@ type stmtPlan struct {
 }
 
 // planFor returns (building and caching if necessary) the batch plan for the
-// relation's events, or nil when the program has no triggers for it.
+// relation's events, or nil when the program has no triggers for it. A
+// one-entry cache short-circuits the common case of long runs of events on
+// the same relation.
 func (e *Engine) planFor(relation string) *relationPlan {
+	if relation == e.lastRel && e.lastPlan != nil {
+		return e.lastPlan
+	}
 	if p, ok := e.plans[relation]; ok {
+		if p != nil {
+			e.lastRel, e.lastPlan = relation, p
+		}
 		return p
 	}
 	ins := e.triggers["+"+relation]
@@ -118,6 +130,7 @@ func (e *Engine) planFor(relation string) *relationPlan {
 		p.delete = e.planTrigger(del, p)
 	}
 	e.plans[relation] = p
+	e.lastRel, e.lastPlan = relation, p
 	return p
 }
 

@@ -32,8 +32,11 @@ type Engine struct {
 	shards int
 	// plans caches the per-relation execution plans (conflict analysis plus
 	// per-statement compiled executors and fast paths), built lazily on first
-	// use and shared by Apply and ApplyBatch.
-	plans map[string]*relationPlan
+	// use and shared by Apply and ApplyBatch; lastRel/lastPlan are a
+	// one-entry lookup cache over it.
+	plans    map[string]*relationPlan
+	lastRel  string
+	lastPlan *relationPlan
 	// execMode selects compiled executors, the interpreter, or the
 	// run-both-and-compare equivalence check.
 	execMode ExecMode
@@ -90,6 +93,7 @@ func ParseExecMode(s string) (ExecMode, error) {
 func (e *Engine) SetExecMode(m ExecMode) {
 	e.execMode = m
 	e.plans = map[string]*relationPlan{}
+	e.lastRel, e.lastPlan = "", nil
 }
 
 // ExecMode returns the current execution mode.
@@ -305,14 +309,14 @@ func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env
 		return e.verifyStmt(sp, tuple, args, env)
 	}
 	if sp.directEmit {
-		return sp.exec.Run(e, tuple, sp.target)
+		return sp.exec.RunCached(&sp.cache, e, tuple, sp.target)
 	}
 	if sp.scratch == nil {
 		sp.scratch = gmr.New(types.Schema(sp.target.Keys()))
 	} else {
 		sp.scratch.Reset()
 	}
-	if err := sp.exec.Run(e, tuple, sp.scratch); err != nil {
+	if err := sp.exec.RunCached(&sp.cache, e, tuple, sp.scratch); err != nil {
 		return err
 	}
 	if sp.stmt.Kind == trigger.StmtReplace {
@@ -328,7 +332,7 @@ func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env
 func (e *Engine) verifyStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env) error {
 	schema := types.Schema(sp.target.Keys())
 	compiled := gmr.New(schema)
-	if err := sp.exec.Run(e, tuple, compiled); err != nil {
+	if err := sp.exec.RunCached(&sp.cache, e, tuple, compiled); err != nil {
 		return err
 	}
 	if *env == nil {

@@ -1,18 +1,19 @@
 package engine
 
 import (
-	"strconv"
-	"strings"
 	"sync"
 
 	"dbtoaster/internal/gmr"
 	"dbtoaster/internal/types"
 )
 
-// View is one materialized map: the primary GMR keyed by the view's key
-// variables plus lazily created secondary hash indexes for the binding
-// patterns that trigger statements probe with (the role Boost Multi-Index
-// plays in the paper's C++ backend).
+// View is one materialized map: the primary GMR (a flat open-addressing
+// table, see package gmr) keyed by the view's key variables plus lazily
+// created secondary indexes for the binding patterns that trigger statements
+// probe with (the role Boost Multi-Index plays in the paper's C++ backend).
+// A secondary index stores postings of stable slot ids into the flat store,
+// so probing dereferences the dense slot slice instead of a nested map and
+// index maintenance never copies tuples.
 //
 // Probe is safe for concurrent use (the batch pipeline's shard workers read
 // views in parallel while computing deltas); Add, AddProjected, MergeDelta
@@ -22,17 +23,33 @@ type View struct {
 	keys []string
 	data *gmr.GMR
 	// mu guards the indexes map so that concurrent probes can share lazily
-	// built indexes. Index contents are only mutated by Add/MergeDelta, which
-	// never overlap with probes.
-	mu      sync.Mutex
-	indexes map[string]*secondaryIndex
+	// built indexes (probes take the read lock; the one-time build takes the
+	// write lock). Index contents are only mutated by Add/MergeDelta, which
+	// never overlap with probes. The map is keyed by the probe columns'
+	// position bitmask — probe plans always list columns in ascending
+	// position order, so the mask is canonical.
+	mu      sync.RWMutex
+	indexes map[uint64]*secondaryIndex
+	// keyBuf is the scratch key-encoding buffer of the mutating entry points
+	// (mutations are single-goroutine by contract).
+	keyBuf []byte
 }
 
-// secondaryIndex maps the encoded values of a column subset to the matching
-// entries of the view.
+// secondaryIndex maps the encoded values of a column subset to a posting of
+// slot ids into the view's flat store. Postings are mutated through a
+// pointer so that updating an existing bucket performs no map write (and no
+// string-key allocation).
 type secondaryIndex struct {
 	cols    []int
-	buckets map[string]map[string]gmr.Entry // subset key -> primary key -> entry
+	buckets map[string]*posting
+	// sub and keyBuf are maintenance/build scratch; probes encode their
+	// bucket keys into caller-local buffers instead.
+	sub    types.Tuple
+	keyBuf []byte
+}
+
+type posting struct {
+	ids []int32
 }
 
 // NewView creates an empty view with the given key variable names.
@@ -41,7 +58,7 @@ func NewView(name string, keys []string) *View {
 		name:    name,
 		keys:    append([]string(nil), keys...),
 		data:    gmr.New(types.Schema(keys)),
-		indexes: map[string]*secondaryIndex{},
+		indexes: map[uint64]*secondaryIndex{},
 	}
 }
 
@@ -53,7 +70,7 @@ func newStaticView(name string, data *gmr.GMR) *View {
 		name:    name,
 		keys:    append([]string(nil), data.Schema()...),
 		data:    data,
-		indexes: map[string]*secondaryIndex{},
+		indexes: map[uint64]*secondaryIndex{},
 	}
 }
 
@@ -72,62 +89,79 @@ func (v *View) Add(key types.Tuple, mult float64) {
 	if mult == 0 {
 		return
 	}
-	newMult := v.data.Add(key, mult)
-	if len(v.indexes) == 0 {
-		return
+	v.keyBuf = key.AppendKey(v.keyBuf[:0])
+	id, newMult, inserted := v.data.UpsertEncoded(v.keyBuf, key, mult)
+	if len(v.indexes) != 0 {
+		v.updateIndexes(id, key, newMult, inserted)
 	}
-	v.updateIndexes(key.EncodeKey(), key, newMult)
 }
 
 // AddEncoded is Add for callers that already hold the key tuple's canonical
 // encoding in a byte buffer (the compiled executors' emission path); the
-// underlying GMR only converts the bytes to a string when a new entry is
-// inserted. It implements exec.Accum, so a compiled statement whose RHS does
-// not read its own target can emit straight into the view.
+// underlying flat store appends the bytes to its arena only when a new entry
+// is created. It implements exec.Accum, so a compiled statement whose RHS
+// does not read its own target can emit straight into the view.
 func (v *View) AddEncoded(key []byte, t types.Tuple, mult float64) float64 {
 	if mult == 0 {
 		return 0
 	}
-	newMult := v.data.AddEncoded(key, t, mult)
+	id, newMult, inserted := v.data.UpsertEncoded(key, t, mult)
 	if len(v.indexes) != 0 {
-		v.updateIndexes(string(key), t, newMult)
+		v.updateIndexes(id, t, newMult, inserted)
 	}
 	return newMult
 }
 
 // MergeDelta adds every entry of delta (a GMR over the view's key schema)
-// into the view. It reuses the delta's canonical encoded keys and touches
-// each secondary index once per distinct key, which is what makes applying a
-// batch-accumulated delta cheaper than the equivalent sequence of Adds.
+// into the view. It reuses the delta's canonical encoded keys (no tuple is
+// re-encoded), shares the delta's immutable tuples on insert, and touches
+// the secondary indexes only when an entry is created or removed, which is
+// what makes applying a batch-accumulated delta cheaper than the equivalent
+// sequence of Adds.
 func (v *View) MergeDelta(delta *gmr.GMR) {
-	delta.ForeachKeyed(func(pk string, t types.Tuple, m float64) {
-		newMult := v.data.AddKeyed(pk, t, m)
+	delta.ForeachKeyed(func(key []byte, t types.Tuple, m float64) {
+		id, newMult, inserted := v.data.UpsertEncodedShared(key, t, m)
 		if len(v.indexes) != 0 {
-			v.updateIndexes(pk, t, newMult)
+			v.updateIndexes(id, t, newMult, inserted)
 		}
 	})
 }
 
-// updateIndexes reflects the new multiplicity of the key tuple (primary key
-// pk) in every secondary index.
-func (v *View) updateIndexes(pk string, key types.Tuple, newMult float64) {
+// updateIndexes reflects one primary-store mutation in every secondary
+// index. In-place multiplicity updates need no index work at all — the
+// postings reference the slot, not the value; only entry creation (append
+// the slot id) and removal (drop it) touch a posting.
+func (v *View) updateIndexes(id int32, key types.Tuple, newMult float64, inserted bool) {
+	if !inserted && newMult != 0 {
+		return
+	}
 	for _, idx := range v.indexes {
 		bk := idx.bucketKey(key)
-		bucket := idx.buckets[bk]
-		if newMult == 0 {
-			if bucket != nil {
-				delete(bucket, pk)
-				if len(bucket) == 0 {
-					delete(idx.buckets, bk)
-				}
+		p := idx.buckets[string(bk)]
+		if inserted {
+			if p == nil {
+				p = &posting{}
+				idx.buckets[string(bk)] = p
 			}
+			p.ids = append(p.ids, id)
 			continue
 		}
-		if bucket == nil {
-			bucket = map[string]gmr.Entry{}
-			idx.buckets[bk] = bucket
+		// newMult == 0: the slot was freed; remove it from the posting (a
+		// linear scan — freed slot ids are reused by the store, so stale ids
+		// must never linger; bucket sizes here are probe-selective, so the
+		// scan stays short). The emptied posting is kept so hot buckets do
+		// not churn allocations.
+		if p == nil {
+			continue
 		}
-		bucket[pk] = gmr.Entry{Tuple: key.Clone(), Mult: newMult}
+		for i, pid := range p.ids {
+			if pid == id {
+				last := len(p.ids) - 1
+				p.ids[i] = p.ids[last]
+				p.ids = p.ids[:last]
+				break
+			}
+		}
 	}
 }
 
@@ -155,128 +189,145 @@ func (v *View) AddProjected(schema types.Schema, t types.Tuple, mult float64, ke
 // Clear removes all contents and indexes.
 func (v *View) Clear() {
 	v.data = gmr.New(types.Schema(v.keys))
-	v.indexes = map[string]*secondaryIndex{}
+	v.indexes = map[uint64]*secondaryIndex{}
 }
 
 // Probe returns the entries whose columns at the given positions equal the
 // given values. A fully-bound probe is a direct primary lookup; partial
 // probes use (and lazily build) a secondary index.
 func (v *View) Probe(cols []int, vals []types.Value) []gmr.Entry {
-	if len(cols) == len(v.keys) {
-		inOrder := true
-		for i, c := range cols {
-			if c != i {
-				inOrder = false
-				break
-			}
+	var kb [96]byte
+	if v.fullInOrder(cols) {
+		m := v.data.GetEncoded(types.Tuple(vals).AppendKey(kb[:0]))
+		if m == 0 {
+			return nil
 		}
-		if inOrder {
-			m := v.data.Get(types.Tuple(vals))
-			if m == 0 {
-				return nil
-			}
-			return []gmr.Entry{{Tuple: append(types.Tuple(nil), vals...), Mult: m}}
-		}
+		return []gmr.Entry{{Tuple: append(types.Tuple(nil), vals...), Mult: m}}
 	}
 	idx := v.index(cols)
-	bk := encodeVals(vals)
-	bucket := idx.buckets[bk]
-	if len(bucket) == 0 {
+	p := idx.buckets[string(types.Tuple(vals).AppendKey(kb[:0]))]
+	if p == nil || len(p.ids) == 0 {
 		return nil
 	}
-	out := make([]gmr.Entry, 0, len(bucket))
-	for _, e := range bucket {
-		out = append(out, e)
+	out := make([]gmr.Entry, 0, len(p.ids))
+	for _, id := range p.ids {
+		out = append(out, v.data.SlotEntry(id))
 	}
 	return out
 }
 
 // ProbeEach is the allocation-free variant of Probe used by the compiled
 // executors: matching entries are passed to fn instead of being collected
-// into a slice. Like Probe it is safe for concurrent use; fn must not mutate
-// the view.
+// into a slice. Entry tuples alias the store. Like Probe it is safe for
+// concurrent use; fn must not mutate the view.
 func (v *View) ProbeEach(cols []int, vals []types.Value, fn func(gmr.Entry)) {
 	var kb [96]byte
-	if len(cols) == len(v.keys) {
-		inOrder := true
-		for i, c := range cols {
-			if c != i {
-				inOrder = false
-				break
-			}
+	if v.fullInOrder(cols) {
+		// Fully bound in-order probe: direct primary lookup.
+		if e, ok := v.data.LookupEncoded(types.Tuple(vals).AppendKey(kb[:0])); ok {
+			fn(e)
 		}
-		if inOrder {
-			// Fully bound in-order probe: direct primary lookup.
-			if e, ok := v.data.LookupEncoded(types.Tuple(vals).AppendKey(kb[:0])); ok {
-				fn(e)
-			}
-			return
-		}
+		return
 	}
 	idx := v.index(cols)
-	// The bucket is resolved before iteration, so fn may reuse vals.
-	bucket := idx.buckets[string(types.Tuple(vals).AppendKey(kb[:0]))]
-	for _, e := range bucket {
-		fn(e)
+	// The posting is resolved before iteration, so fn may reuse vals; fn must
+	// not mutate this view (removing or inserting entries would move the
+	// posting under the iteration).
+	p := idx.buckets[string(types.Tuple(vals).AppendKey(kb[:0]))]
+	if p == nil {
+		return
+	}
+	for _, id := range p.ids {
+		fn(v.data.SlotEntry(id))
 	}
 }
 
+// fullInOrder reports whether cols is exactly 0..len(keys)-1, i.e. the probe
+// binds the full primary key in key order.
+func (v *View) fullInOrder(cols []int) bool {
+	if len(cols) != len(v.keys) {
+		return false
+	}
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
 // index returns (building if necessary) the secondary index on the given
-// column positions. Concurrent probes serialize only on the lookup and the
-// one-time build.
+// column positions. Concurrent probes serialize only on the read lock and
+// the one-time build.
 func (v *View) index(cols []int) *secondaryIndex {
 	sig := signature(cols)
+	v.mu.RLock()
+	idx, ok := v.indexes[sig]
+	v.mu.RUnlock()
+	if ok {
+		return idx
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if idx, ok := v.indexes[sig]; ok {
 		return idx
 	}
-	idx := &secondaryIndex{cols: append([]int(nil), cols...), buckets: map[string]map[string]gmr.Entry{}}
-	v.data.ForeachKeyed(func(pk string, t types.Tuple, m float64) {
+	idx = &secondaryIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: map[string]*posting{},
+		sub:     make(types.Tuple, len(cols)),
+	}
+	v.data.ForeachSlot(func(id int32, t types.Tuple, m float64) {
 		bk := idx.bucketKey(t)
-		bucket := idx.buckets[bk]
-		if bucket == nil {
-			bucket = map[string]gmr.Entry{}
-			idx.buckets[bk] = bucket
+		p := idx.buckets[string(bk)]
+		if p == nil {
+			p = &posting{}
+			idx.buckets[string(bk)] = p
 		}
-		bucket[pk] = gmr.Entry{Tuple: t.Clone(), Mult: m}
+		p.ids = append(p.ids, id)
 	})
 	v.indexes[sig] = idx
 	return idx
 }
 
-func (idx *secondaryIndex) bucketKey(t types.Tuple) string {
-	sub := make(types.Tuple, len(idx.cols))
+// bucketKey encodes the index's column subset of t into the index's scratch
+// buffer. Only called while building or maintaining the index (never from
+// concurrent probes, which use caller-local buffers).
+func (idx *secondaryIndex) bucketKey(t types.Tuple) []byte {
 	for i, c := range idx.cols {
-		sub[i] = t[c]
+		idx.sub[i] = t[c]
 	}
-	return sub.EncodeKey()
+	idx.keyBuf = idx.sub.AppendKey(idx.keyBuf[:0])
+	return idx.keyBuf
 }
 
-func encodeVals(vals []types.Value) string {
-	return types.Tuple(vals).EncodeKey()
-}
-
-func signature(cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte(',')
+// signature packs ascending column positions into a bitmask. Probe plans
+// (both the compiled executors' and the interpreter's) list bound columns in
+// ascending position order, so the mask identifies the column set uniquely;
+// the order is asserted because an out-of-order caller would otherwise
+// silently probe an index whose bucket-key encoding disagrees with its vals.
+func signature(cols []int) uint64 {
+	var mask uint64
+	prev := -1
+	for _, c := range cols {
+		if c >= 64 {
+			panic("engine: probe column position beyond 63")
 		}
-		b.WriteString(strconv.Itoa(c))
+		if c <= prev {
+			panic("engine: probe columns must be in ascending position order")
+		}
+		prev = c
+		mask |= 1 << uint(c)
 	}
-	return b.String()
+	return mask
 }
 
 // MemSize estimates the bytes held by the view including secondary indexes.
 func (v *View) MemSize() int {
 	n := v.data.MemSize()
 	for _, idx := range v.indexes {
-		for bk, bucket := range idx.buckets {
-			n += len(bk) + 32
-			for pk := range bucket {
-				n += len(pk) + 48
-			}
+		for bk, p := range idx.buckets {
+			n += len(bk) + 48 + 4*cap(p.ids)
 		}
 	}
 	return n

@@ -30,6 +30,10 @@ type compiler struct {
 	slots    map[string]int
 	valSizes []int
 	nScratch int
+	// prefills are constant values written into a machine's vals buffers at
+	// machine creation (constant function arguments); the closures never
+	// overwrite those positions.
+	prefills []prefill
 }
 
 func (c *compiler) slot(name string) int {
@@ -81,6 +85,7 @@ func CompileStatement(rhs agca.Expr, targetKeys []string, args []string) (x *Exe
 		valSizes: c.valSizes,
 		nScratch: c.nScratch,
 		keySlots: keySlots,
+		prefills: c.prefills,
 	}, nil
 }
 
@@ -113,14 +118,7 @@ func (c *compiler) compile(e agca.Expr, bound agca.VarSet, next node) node {
 	case agca.Prod:
 		return c.compileProd(n, bound, next)
 	case agca.Cmp:
-		l := c.compileScalar(n.L, bound)
-		r := c.compileScalar(n.R, bound)
-		op := n.Op
-		return func(m *machine, mult float64) {
-			if agca.CompareHolds(op, l(m), r(m)) {
-				next(m, mult)
-			}
-		}
+		return c.compileCmpNode(n, bound, next)
 	case agca.Lift:
 		return c.compileLift(n, bound, next)
 	case agca.AggSum:
@@ -157,6 +155,76 @@ func (c *compiler) compile(e agca.Expr, bound agca.VarSet, next node) node {
 	default:
 		compilePanic("unknown expression node %T", e)
 		return nil
+	}
+}
+
+// cmpMaskFor folds a comparison operator into a 3-bit outcome mask: bit
+// (Compare(l, r) + 1) is set when the outcome satisfies the operator. The
+// per-row check is then one Compare plus a shift — no operator switch, no
+// extra call level.
+func cmpMaskFor(op agca.CmpOp) uint8 {
+	const lt, eq, gt = 1 << 0, 1 << 1, 1 << 2
+	switch op {
+	case agca.OpEq:
+		return eq
+	case agca.OpNe:
+		return lt | gt
+	case agca.OpLt:
+		return lt
+	case agca.OpLe:
+		return lt | eq
+	case agca.OpGt:
+		return gt
+	case agca.OpGe:
+		return eq | gt
+	default:
+		compilePanic("unknown comparison operator %v", op)
+		return 0
+	}
+}
+
+// compileCmpNode lowers a comparison in relational position. The dominant
+// shapes — register-vs-register and register-vs-constant — are specialized
+// to read their operands directly instead of going through scalar closures
+// (a comparison over a scanned relation runs once per row, so the two
+// avoided indirect calls and Value copies are a measurable share of scan-
+// heavy queries).
+func (c *compiler) compileCmpNode(n agca.Cmp, bound agca.VarSet, next node) node {
+	mask := cmpMaskFor(n.Op)
+	lv, lVar := n.L.(agca.Var)
+	rv, rVar := n.R.(agca.Var)
+	lc, lConst := n.L.(agca.Const)
+	rc, rConst := n.R.(agca.Const)
+	switch {
+	case lVar && rVar:
+		ls, rs := c.boundSlot(lv.Name, bound), c.boundSlot(rv.Name, bound)
+		return func(m *machine, mult float64) {
+			if mask&(1<<uint(types.Compare(m.regs[ls], m.regs[rs])+1)) != 0 {
+				next(m, mult)
+			}
+		}
+	case lVar && rConst:
+		ls, cv := c.boundSlot(lv.Name, bound), rc.V
+		return func(m *machine, mult float64) {
+			if mask&(1<<uint(types.Compare(m.regs[ls], cv)+1)) != 0 {
+				next(m, mult)
+			}
+		}
+	case lConst && rVar:
+		cv, rs := lc.V, c.boundSlot(rv.Name, bound)
+		return func(m *machine, mult float64) {
+			if mask&(1<<uint(types.Compare(cv, m.regs[rs])+1)) != 0 {
+				next(m, mult)
+			}
+		}
+	default:
+		l := c.compileScalar(n.L, bound)
+		r := c.compileScalar(n.R, bound)
+		return func(m *machine, mult float64) {
+			if mask&(1<<uint(types.Compare(l(m), r(m))+1)) != 0 {
+				next(m, mult)
+			}
+		}
 	}
 }
 
@@ -315,56 +383,51 @@ func (c *compiler) compileLift(n agca.Lift, bound agca.VarSet, next node) node {
 
 // compileExists lowers the domain-extraction operator. Exists is non-linear
 // in multiplicities (every tuple with non-zero total multiplicity counts
-// once), so the inner result is materialized into a scratch map keyed on the
-// inner output slots before each surviving group is pushed with multiplicity
-// one.
+// once), so the inner result is materialized into a scratch flat table keyed
+// on the inner output slots before each surviving group is pushed with
+// multiplicity one. The scratch GMR is Reset after use, so steady-state
+// materialization performs no string conversions and no per-group
+// allocations beyond the first event's working set.
 func (c *compiler) compileExists(n agca.Exists, bound agca.VarSet, next node) node {
 	outs := agca.OutputVars(n.E, bound)
 	outSlots := make([]int, len(outs))
 	for i, v := range outs {
 		outSlots[i] = c.slot(v)
 	}
+	schema := types.Schema(outs).Clone()
 	scratchID := c.nScratch
 	c.nScratch++
+	// The group tuple is staged in a per-node vals buffer; the scratch table
+	// clones it when a new group is created.
+	valsID := len(c.valSizes)
+	c.valSizes = append(c.valSizes, len(outSlots))
 	inner := c.compile(n.E, bound, func(m *machine, mult float64) {
 		if mult == 0 {
 			return
 		}
-		sm := m.scratch[scratchID]
-		m.keyBuf = m.keyBuf[:0]
-		for i, s := range outSlots {
-			if i > 0 {
-				m.keyBuf = append(m.keyBuf, '|')
-			}
-			m.keyBuf = m.regs[s].EncodeKey(m.keyBuf)
-		}
-		if e, ok := sm[string(m.keyBuf)]; ok {
-			e.sum += mult
-			sm[string(m.keyBuf)] = e
-			return
-		}
-		t := make(types.Tuple, len(outSlots))
+		t := types.Tuple(m.vals[valsID])
 		for i, s := range outSlots {
 			t[i] = m.regs[s]
 		}
-		sm[string(m.keyBuf)] = aggEntry{tuple: t, sum: mult}
+		m.keyBuf = t.AppendKey(m.keyBuf[:0])
+		m.scratch[scratchID].AddEncoded(m.keyBuf, t, mult)
 	})
 	return func(m *machine, mult float64) {
 		if m.scratch[scratchID] == nil {
-			m.scratch[scratchID] = map[string]aggEntry{}
+			m.scratch[scratchID] = gmr.New(schema)
 		}
 		sm := m.scratch[scratchID]
 		inner(m, 1)
-		for _, e := range sm {
-			if math.Abs(e.sum) <= gmr.Epsilon {
-				continue
+		sm.Foreach(func(t types.Tuple, sum float64) {
+			if math.Abs(sum) <= gmr.Epsilon {
+				return
 			}
 			for i, s := range outSlots {
-				m.regs[s] = e.tuple[i]
+				m.regs[s] = t[i]
 			}
 			next(m, mult)
-		}
-		clear(sm)
+		})
+		sm.Reset()
 	}
 }
 
@@ -388,21 +451,46 @@ func (c *compiler) compileScalar(e agca.Expr, bound agca.VarSet) scalar {
 		r := c.compileScalar(n.R, bound)
 		return func(m *machine) types.Value { return types.Div(l(m), r(m)) }
 	case agca.Func:
-		args := make([]scalar, len(n.Args))
-		for i, a := range n.Args {
-			args[i] = c.compileScalar(a, bound)
-		}
-		name := n.Name
-		// The argument buffer is reused across calls; argument evaluation may
+		// The function is resolved at compile time (unknown names fall back
+		// to the interpreter, which reports the same EvalError per row). The
+		// argument buffer is reused across calls; argument evaluation may
 		// recurse into other Func nodes, which own their own buffers.
+		// Arguments are specialized by shape: constants are prefilled into
+		// the machine's buffer once at machine creation, register reads skip
+		// the scalar-closure indirection, and only genuinely computed
+		// arguments evaluate through a closure.
+		fn, ok := agca.ResolveFunc(n.Name)
+		if !ok {
+			compilePanic("unknown function %q", n.Name)
+		}
 		valsID := len(c.valSizes)
-		c.valSizes = append(c.valSizes, len(args))
+		c.valSizes = append(c.valSizes, len(n.Args))
+		type regArg struct{ idx, slot int }
+		type genArg struct {
+			idx int
+			fn  scalar
+		}
+		var regArgs []regArg
+		var genArgs []genArg
+		for i, a := range n.Args {
+			switch an := a.(type) {
+			case agca.Const:
+				c.prefills = append(c.prefills, prefill{valsID: valsID, idx: i, val: an.V})
+			case agca.Var:
+				regArgs = append(regArgs, regArg{idx: i, slot: c.boundSlot(an.Name, bound)})
+			default:
+				genArgs = append(genArgs, genArg{idx: i, fn: c.compileScalar(a, bound)})
+			}
+		}
 		return func(m *machine) types.Value {
 			vals := m.vals[valsID]
-			for i, a := range args {
-				vals[i] = a(m)
+			for _, ra := range regArgs {
+				vals[ra.idx] = m.regs[ra.slot]
 			}
-			return agca.ApplyFunc(name, vals)
+			for _, ga := range genArgs {
+				vals[ga.idx] = ga.fn(m)
+			}
+			return fn(vals)
 		}
 	case agca.Sum:
 		terms := make([]scalar, len(n.Terms))
@@ -431,9 +519,9 @@ func (c *compiler) compileScalar(e agca.Expr, bound agca.VarSet) scalar {
 	case agca.Cmp:
 		l := c.compileScalar(n.L, bound)
 		r := c.compileScalar(n.R, bound)
-		op := n.Op
+		mask := cmpMaskFor(n.Op)
 		return func(m *machine) types.Value {
-			if agca.CompareHolds(op, l(m), r(m)) {
+			if mask&(1<<uint(types.Compare(l(m), r(m))+1)) != 0 {
 				return types.Int(1)
 			}
 			return types.Int(0)

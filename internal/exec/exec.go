@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"dbtoaster/internal/agca"
+	"dbtoaster/internal/gmr"
 	"dbtoaster/internal/types"
 )
 
@@ -44,25 +45,19 @@ type node func(m *machine, mult float64)
 // scalar is a compiled scalar expression evaluated over the register slots.
 type scalar func(m *machine) types.Value
 
-// aggEntry is one group of a materialization point (Exists, scalar
-// subqueries): the group's slot values and its accumulated multiplicity.
-type aggEntry struct {
-	tuple types.Tuple
-	sum   float64
-}
-
 // machine is the mutable per-run state of an executor: the variable register
 // file, scratch buffers for probe values, emission keys and materialization
-// maps, and the run's database and accumulator. Machines are pooled per
+// tables, and the run's database and accumulator. Machines are pooled per
 // executor; an executor itself is immutable and safe for concurrent Run calls
 // (each run draws its own machine).
 type machine struct {
 	regs []types.Value
 	// vals holds one probe-value buffer per relation/map atom.
 	vals [][]types.Value
-	// scratch holds one lazily created materialization map per Exists or
-	// scalar-subquery node; maps are cleared (retaining buckets) after use.
-	scratch []map[string]aggEntry
+	// scratch holds one lazily created materialization GMR per Exists node;
+	// the flat tables are Reset (retaining arena and probe-table capacity)
+	// after use, so steady-state materialization allocates nothing.
+	scratch []*gmr.GMR
 	// keyBuf is the shared key-encoding buffer. Uses never span a downstream
 	// call: every node builds its key, consumes it, and returns before pushing
 	// rows further, so one buffer serves all nodes of the pipeline.
@@ -77,6 +72,14 @@ type machine struct {
 	acc  Accum
 }
 
+// prefill is a constant written into a machine's vals buffer at machine
+// creation (a constant function argument resolved at compile time).
+type prefill struct {
+	valsID int
+	idx    int
+	val    types.Value
+}
+
 // Executor is one compiled statement: run it once per event.
 type Executor struct {
 	root     node
@@ -85,19 +88,31 @@ type Executor struct {
 	valSizes []int
 	nScratch int
 	keySlots []int
+	prefills []prefill
 	pool     sync.Pool
+}
+
+// MachineCache holds one machine for a single-threaded caller (the engine's
+// sequential Apply path keeps one per statement), avoiding the sync.Pool
+// round trip of Run. A cache belongs to the executor that first populated it
+// and must not be used concurrently.
+type MachineCache struct {
+	m *machine
 }
 
 func (x *Executor) newMachine() *machine {
 	m := &machine{
 		regs:     make([]types.Value, x.nRegs),
 		vals:     make([][]types.Value, len(x.valSizes)),
-		scratch:  make([]map[string]aggEntry, x.nScratch),
+		scratch:  make([]*gmr.GMR, x.nScratch),
 		keyBuf:   make([]byte, 0, 64),
 		keyTuple: make(types.Tuple, len(x.keySlots)),
 	}
 	for i, n := range x.valSizes {
 		m.vals[i] = make([]types.Value, n)
+	}
+	for _, p := range x.prefills {
+		m.vals[p.valsID][p.idx] = p.val
 	}
 	return m
 }
@@ -106,14 +121,30 @@ func (x *Executor) newMachine() *machine {
 // trigger argument, in trigger-argument order), db provides the relations and
 // materialized maps the statement reads, and every result row is added into
 // acc keyed by the statement's target keys. Semantic errors (the interpreter's
-// *agca.EvalError panics) are returned as errors.
-func (x *Executor) Run(db agca.Database, args types.Tuple, acc Accum) (err error) {
-	if len(args) != x.nArgs {
-		return fmt.Errorf("exec: event carries %d values, executor expects %d", len(args), x.nArgs)
-	}
+// *agca.EvalError panics) are returned as errors. Run is safe for concurrent
+// use; each call draws a pooled machine.
+func (x *Executor) Run(db agca.Database, args types.Tuple, acc Accum) error {
 	m, _ := x.pool.Get().(*machine)
 	if m == nil {
 		m = x.newMachine()
+	}
+	err := x.runWith(m, db, args, acc)
+	x.pool.Put(m)
+	return err
+}
+
+// RunCached is Run drawing its machine from the caller-owned cache instead
+// of the pool. Not safe for concurrent use of the same cache.
+func (x *Executor) RunCached(c *MachineCache, db agca.Database, args types.Tuple, acc Accum) error {
+	if c.m == nil {
+		c.m = x.newMachine()
+	}
+	return x.runWith(c.m, db, args, acc)
+}
+
+func (x *Executor) runWith(m *machine, db agca.Database, args types.Tuple, acc Accum) (err error) {
+	if len(args) != x.nArgs {
+		return fmt.Errorf("exec: event carries %d values, executor expects %d", len(args), x.nArgs)
 	}
 	m.db = db
 	m.each, _ = db.(agca.EachProber)
@@ -123,20 +154,20 @@ func (x *Executor) Run(db agca.Database, args types.Tuple, acc Accum) (err error
 	defer func() {
 		m.db, m.each, m.acc = nil, nil, nil
 		if r := recover(); r != nil {
-			// A panic mid-pipeline can leave materialization scratch maps
-			// partially filled (their nodes clear them only on normal exit);
-			// scrub them so the pooled machine starts clean.
+			// A panic mid-pipeline can leave materialization scratch tables
+			// partially filled (their nodes reset them only on normal exit);
+			// scrub them so the reused machine starts clean.
 			for _, sm := range m.scratch {
-				clear(sm)
+				if sm != nil {
+					sm.Reset()
+				}
 			}
-			x.pool.Put(m)
 			if ee, ok := r.(*agca.EvalError); ok {
 				err = ee
 				return
 			}
 			panic(r)
 		}
-		x.pool.Put(m)
 	}()
 	x.root(m, 1)
 	return nil

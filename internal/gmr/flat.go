@@ -1,0 +1,230 @@
+package gmr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"dbtoaster/internal/types"
+)
+
+// This file implements the storage layer of a GMR: a flat open-addressing
+// hash table over raw []byte tuple keys, replacing the former
+// map[string]Entry. The layout is three parallel structures:
+//
+//   - arena: the canonical key encodings of all entries, bump-allocated
+//     back-to-back; a slot references its key as (keyOff, keyLen), so an
+//     insert appends the key bytes once and never materializes a string.
+//     Keys of deleted entries leak until enough of the arena is dead, at
+//     which point it is compacted (slot ids are unaffected).
+//   - slots: one record per entry — the cached 64-bit key hash, the
+//     multiplicity, the tuple, and the key reference. Deletion tombstones
+//     the record and links it into a free list for reuse, so a slot id is
+//     stable for the lifetime of its entry; the engine's secondary indexes
+//     are postings of these ids. Iteration is a linear walk of the slot
+//     slice skipping tombstones.
+//   - index: the probe table, a power-of-two []uint64 with linear probing.
+//     Each cell packs the upper 32 bits of the hash (checked before the
+//     slot is touched) with slotID+1; 0 means empty. Deletion compacts the
+//     probe cluster by backward shifting (no probe-table tombstones), so
+//     the load factor counts live entries only.
+type slot struct {
+	hash   uint64
+	mult   float64
+	tuple  types.Tuple
+	keyOff uint32
+	keyLen uint32
+	dead   bool
+}
+
+const (
+	slotBytes    = 56 // unsafe.Sizeof(slot{}), spelled out to keep the package unsafe-free
+	minIndexSize = 8
+)
+
+// hashKey hashes a canonical key encoding eight bytes at a time (a
+// wyhash-style multiply-fold per word) with a murmur finalizer, so that the
+// low bits (used as the power-of-two probe mask) are well mixed. The
+// function is seedless, so the cached hash of a slot is valid across GMRs —
+// MergeInto, Equal and the algebra operators reuse it instead of rehashing.
+func hashKey(key []byte) uint64 {
+	const (
+		m1 = 0xa0761d6478bd642f
+		m2 = 0xe7037ed1a0b428db
+	)
+	h := uint64(len(key)) * m1
+	for len(key) >= 8 {
+		hi, lo := bits.Mul64(h^binary.LittleEndian.Uint64(key), m2)
+		h = hi ^ lo
+		key = key[8:]
+	}
+	var tail uint64
+	for i := len(key) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(key[i])
+	}
+	hi, lo := bits.Mul64(h^tail, m1)
+	h = hi ^ lo
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (g *GMR) keyAt(s *slot) []byte { return g.arena[s.keyOff : s.keyOff+s.keyLen] }
+
+// find probes for the key with hash h. It returns the probe-table position
+// where the search ended — the entry's cell when found, the first empty cell
+// (a valid insertion point) when not — and the slot id when found.
+func (g *GMR) find(h uint64, key []byte) (pos uint64, id int32, ok bool) {
+	if len(g.index) == 0 {
+		return 0, -1, false
+	}
+	mask := uint64(len(g.index) - 1)
+	tag := h &^ 0xFFFFFFFF
+	i := h & mask
+	for {
+		e := g.index[i]
+		if e == 0 {
+			return i, -1, false
+		}
+		if e&^0xFFFFFFFF == tag {
+			id := int32(e&0xFFFFFFFF) - 1
+			s := &g.slots[id]
+			if s.hash == h && bytes.Equal(g.keyAt(s), key) {
+				return i, id, true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// findInsertPos returns the first empty probe cell for hash h. Only valid
+// when the key is known to be absent (grow/rehash, insert after a miss).
+func (g *GMR) findInsertPos(h uint64) uint64 {
+	mask := uint64(len(g.index) - 1)
+	i := h & mask
+	for g.index[i] != 0 {
+		i = (i + 1) & mask
+	}
+	return i
+}
+
+// insertAt creates a new entry at the given empty probe cell. When
+// cloneTuple is false the slot aliases t directly; callers must guarantee t
+// is immutable (tuples already held by a GMR are).
+func (g *GMR) insertAt(pos uint64, h uint64, key []byte, t types.Tuple, m float64, cloneTuple bool) int32 {
+	if (g.live+1)*4 > len(g.index)*3 {
+		g.grow()
+		pos = g.findInsertPos(h)
+	}
+	off := uint32(len(g.arena))
+	g.arena = append(g.arena, key...)
+	if cloneTuple {
+		t = t.Clone()
+	}
+	ns := slot{hash: h, mult: m, tuple: t, keyOff: off, keyLen: uint32(len(key))}
+	var id int32
+	if n := len(g.free); n > 0 {
+		id = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.slots[id] = ns
+	} else {
+		id = int32(len(g.slots))
+		g.slots = append(g.slots, ns)
+	}
+	g.index[pos] = h&^0xFFFFFFFF | uint64(id+1)
+	g.live++
+	return id
+}
+
+// grow doubles the probe table and reinserts every live slot by its cached
+// hash. Slot ids (and therefore secondary-index postings) are unaffected.
+func (g *GMR) grow() {
+	n := len(g.index) * 2
+	if n == 0 {
+		n = minIndexSize
+	}
+	g.index = make([]uint64, n)
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		g.index[g.findInsertPos(s.hash)] = s.hash&^0xFFFFFFFF | uint64(i+1)
+	}
+}
+
+// deleteAt removes the entry at probe cell pos / slot id: the slot is
+// tombstoned onto the free list and the probe cluster after pos is
+// backward-shifted (Knuth 6.4 Algorithm R) so no probe tombstone is left.
+func (g *GMR) deleteAt(pos uint64, id int32) {
+	s := &g.slots[id]
+	s.dead = true
+	s.tuple = nil
+	s.mult = 0
+	g.deadKey += int(s.keyLen)
+	g.free = append(g.free, id)
+	g.live--
+
+	mask := uint64(len(g.index) - 1)
+	i := pos
+	j := pos
+	for {
+		j = (j + 1) & mask
+		e := g.index[j]
+		if e == 0 {
+			break
+		}
+		home := g.slots[int32(e&0xFFFFFFFF)-1].hash & mask
+		// The entry at j may fill the hole at i unless its home position
+		// lies cyclically within (i, j] — moving it then would break its
+		// probe chain.
+		if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
+			g.index[i] = e
+			i = j
+		}
+	}
+	g.index[i] = 0
+
+	if g.deadKey > 4096 && g.deadKey*2 > len(g.arena) {
+		g.compactArena()
+	}
+}
+
+// compactArena rewrites the arena with only the live keys. Slot ids are
+// stable across compaction; only the key offsets move.
+func (g *GMR) compactArena() {
+	na := make([]byte, 0, len(g.arena)-g.deadKey)
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		off := uint32(len(na))
+		na = append(na, g.keyAt(s)...)
+		s.keyOff = off
+	}
+	g.arena = na
+	g.deadKey = 0
+}
+
+// upsertHashed is the shared mutation core: add m to the entry under key
+// (whose hash is h), creating it when absent and deleting it when the
+// accumulated multiplicity lands within Epsilon of zero. It returns the
+// affected slot id (the now-freed id when the entry was removed), the new
+// multiplicity (0 after removal) and whether a new slot was created. m must
+// be non-zero.
+func (g *GMR) upsertHashed(h uint64, key []byte, t types.Tuple, m float64, cloneTuple bool) (id int32, newMult float64, inserted bool) {
+	pos, id, ok := g.find(h, key)
+	if !ok {
+		return g.insertAt(pos, h, key, t, m, cloneTuple), m, true
+	}
+	s := &g.slots[id]
+	s.mult += m
+	if math.Abs(s.mult) <= Epsilon {
+		g.deleteAt(pos, id)
+		return id, 0, false
+	}
+	return id, s.mult, false
+}

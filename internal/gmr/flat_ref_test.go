@@ -1,0 +1,279 @@
+package gmr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+// refModel is the plain-map reference implementation the flat table is
+// checked against: encoded key -> (tuple, multiplicity) with the same
+// Epsilon-deletion rule.
+type refModel struct {
+	mult   map[string]float64
+	tuples map[string]types.Tuple
+}
+
+func newRefModel() *refModel {
+	return &refModel{mult: map[string]float64{}, tuples: map[string]types.Tuple{}}
+}
+
+func (r *refModel) add(t types.Tuple, m float64) {
+	if m == 0 {
+		return
+	}
+	k := t.EncodeKey()
+	if _, ok := r.mult[k]; !ok {
+		r.mult[k] = m
+		r.tuples[k] = t.Clone()
+		return
+	}
+	r.mult[k] += m
+	if math.Abs(r.mult[k]) <= Epsilon {
+		delete(r.mult, k)
+		delete(r.tuples, k)
+	}
+}
+
+func (r *refModel) set(t types.Tuple, m float64) {
+	k := t.EncodeKey()
+	if math.Abs(m) <= Epsilon {
+		delete(r.mult, k)
+		delete(r.tuples, k)
+		return
+	}
+	r.mult[k] = m
+	r.tuples[k] = t.Clone()
+}
+
+func (r *refModel) reset() {
+	clear(r.mult)
+	clear(r.tuples)
+}
+
+func (r *refModel) mergeFrom(o *refModel, factor float64) {
+	for k, m := range o.mult {
+		r.add(o.tuples[k], m*factor)
+	}
+}
+
+// assertSame checks that the flat table and the reference hold exactly the
+// same contents, cross-validating through every read path: Len, Get,
+// GetEncoded, Entries order, ForeachKeyed canonical keys and SlotEntry.
+func assertSame(t *testing.T, step int, g *GMR, r *refModel) {
+	t.Helper()
+	if g.Len() != len(r.mult) {
+		t.Fatalf("step %d: Len = %d, reference has %d entries", step, g.Len(), len(r.mult))
+	}
+	var buf []byte
+	g.ForeachKeyed(func(key []byte, tu types.Tuple, m float64) {
+		want, ok := r.mult[string(key)]
+		if !ok {
+			t.Fatalf("step %d: flat table holds %v (key %q) absent from reference", step, tu, key)
+		}
+		if m != want {
+			t.Fatalf("step %d: multiplicity of %v = %v, reference says %v", step, tu, m, want)
+		}
+		buf = tu.AppendKey(buf[:0])
+		if string(buf) != string(key) {
+			t.Fatalf("step %d: stored key %q is not canonical for %v", step, key, tu)
+		}
+	})
+	g.ForeachSlot(func(id int32, tu types.Tuple, m float64) {
+		e := g.SlotEntry(id)
+		if e.Mult != m || !e.Tuple.Equal(tu) {
+			t.Fatalf("step %d: SlotEntry(%d) = %v, iteration saw (%v, %v)", step, id, e, tu, m)
+		}
+	})
+	for k, want := range r.mult {
+		if got := g.GetEncoded([]byte(k)); got != want {
+			t.Fatalf("step %d: GetEncoded(%q) = %v, want %v", step, k, got, want)
+		}
+		if got := g.Get(r.tuples[k]); got != want {
+			t.Fatalf("step %d: Get(%v) = %v, want %v", step, r.tuples[k], got, want)
+		}
+	}
+	// Entries must come back sorted by canonical key.
+	keys := make([]string, 0, len(r.mult))
+	for k := range r.mult {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := g.Entries()
+	if len(entries) != len(keys) {
+		t.Fatalf("step %d: Entries returned %d rows, want %d", step, len(entries), len(keys))
+	}
+	for i, e := range entries {
+		if e.Tuple.EncodeKey() != keys[i] {
+			t.Fatalf("step %d: Entries[%d] = %v, want key %q", step, i, e.Tuple, keys[i])
+		}
+	}
+}
+
+// TestFlatMatchesReference drives the flat table and a map[string]float64
+// reference through the same long random sequence of Add / delete-by-
+// negation / Set / Reset / MergeInto operations — including epsilon
+// deletions, float drift residues, grow/rehash boundaries (thousands of
+// distinct keys) and delete-heavy phases that exercise backward-shift
+// compaction, slot reuse and arena compaction — asserting identical contents
+// throughout. Run it under -race to check the read paths' data-race
+// annotations as well.
+func TestFlatMatchesReference(t *testing.T) {
+	schema := types.Schema{"a", "b"}
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(schema)
+		ref := newRefModel()
+		other := New(schema)
+		otherRef := newRefModel()
+
+		randTup := func(space int64) types.Tuple {
+			// Mix kinds so coercion-sensitive encodings (integral floats,
+			// booleans) hit the table too.
+			mk := func(v int64) types.Value {
+				switch rng.Intn(6) {
+				case 0:
+					return types.Float(float64(v))
+				case 1:
+					return types.Str("k" + string(rune('a'+v%26)))
+				default:
+					return types.Int(v)
+				}
+			}
+			return types.Tuple{mk(rng.Int63n(space)), mk(rng.Int63n(space))}
+		}
+
+		var buf []byte
+		const steps = 20000
+		for i := 0; i < steps; i++ {
+			// Phase-dependent key space: a wide insert phase crosses several
+			// grow/rehash boundaries, a narrow churn phase forces deletions,
+			// slot reuse and arena compaction.
+			space := int64(2000)
+			if i%5000 >= 3500 {
+				space = 40
+			}
+			tu := randTup(space)
+			switch op := rng.Intn(20); {
+			case op < 10: // random add (both signs)
+				m := float64(rng.Intn(9) - 4)
+				g.Add(tu, m)
+				ref.add(tu, m)
+			case op < 13: // exact cancellation of an existing entry
+				if es := g.Entries(); len(es) > 0 {
+					e := es[rng.Intn(len(es))]
+					g.Add(e.Tuple, -e.Mult)
+					ref.add(e.Tuple, -e.Mult)
+				}
+			case op < 15: // epsilon-sized drift that must erase the entry
+				m := 0.25 * float64(1+rng.Intn(4))
+				g.Add(tu, m)
+				ref.add(tu, m)
+				g.Add(tu, -m+Epsilon/2)
+				ref.add(tu, -m+Epsilon/2)
+			case op < 17: // byte-keyed add through a reused buffer
+				m := float64(rng.Intn(5) - 2)
+				buf = tu.AppendKey(buf[:0])
+				if m != 0 {
+					g.AddEncoded(buf, tu, m)
+					ref.add(tu, m)
+				}
+			case op < 18: // Set (overwrite or erase)
+				m := float64(rng.Intn(3) - 1)
+				g.Set(tu, m)
+				ref.set(tu, m)
+			case op < 19: // stage into a second GMR, occasionally merge it in
+				m := float64(rng.Intn(5) - 2)
+				other.Add(tu, m)
+				otherRef.add(tu, m)
+				if rng.Intn(8) == 0 {
+					factor := float64(rng.Intn(3) - 1)
+					g.MergeInto(other, factor)
+					ref.mergeFrom(otherRef, factor)
+					other.Reset()
+					otherRef.reset()
+				}
+			default: // rare full reset
+				if rng.Intn(10) == 0 {
+					g.Reset()
+					ref.reset()
+				}
+			}
+			if i%500 == 499 {
+				assertSame(t, i, g, ref)
+			}
+		}
+		assertSame(t, steps, g, ref)
+	}
+}
+
+// TestFlatGrowBoundary pins behavior exactly around probe-table growth: the
+// table starts at the minimum size and every doubling must carry all
+// existing entries (and their slot ids) across intact.
+func TestFlatGrowBoundary(t *testing.T) {
+	g := New(types.Schema{"a"})
+	ids := make(map[int64]int32)
+	var buf []byte
+	for i := int64(0); i < 10000; i++ {
+		tu := tup(i)
+		buf = tu.AppendKey(buf[:0])
+		id, _, _ := g.UpsertEncoded(buf, tu, float64(i+1))
+		ids[i] = id
+		if i%1000 == 0 {
+			for j := int64(0); j <= i; j += 97 {
+				if got := g.Get(tup(j)); got != float64(j+1) {
+					t.Fatalf("after %d inserts: Get(%d) = %v, want %v", i+1, j, got, j+1)
+				}
+				if e := g.SlotEntry(ids[j]); e.Mult != float64(j+1) {
+					t.Fatalf("after %d inserts: slot %d moved", i+1, ids[j])
+				}
+			}
+		}
+	}
+	if g.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", g.Len())
+	}
+}
+
+// TestFlatArenaCompaction drives heavy insert/delete churn over a small live
+// set so dead key bytes accumulate and the arena compacts, then verifies
+// every surviving entry (contents and canonical key bytes).
+func TestFlatArenaCompaction(t *testing.T) {
+	g := New(types.Schema{"s"})
+	// Long string keys make dead arena bytes pile up quickly.
+	key := func(i int) types.Tuple {
+		return types.Tuple{types.Str(strings64[i%len(strings64)] + string(rune('0'+i%10)))}
+	}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 50; i++ {
+			g.Add(key(round*50+i), 1)
+		}
+		g.Foreach(func(tu types.Tuple, m float64) {})
+		// Delete everything but a small survivor set.
+		for _, e := range g.Entries() {
+			if e.Tuple[0].AsString()[0] != 'a' {
+				g.Add(e.Tuple, -e.Mult)
+			}
+		}
+	}
+	var buf []byte
+	g.ForeachKeyed(func(k []byte, tu types.Tuple, m float64) {
+		buf = tu.AppendKey(buf[:0])
+		if string(buf) != string(k) {
+			t.Fatalf("after compaction churn, key %q is not canonical for %v", k, tu)
+		}
+	})
+	if got := g.MemSize(); got <= 0 {
+		t.Fatalf("MemSize = %d", got)
+	}
+}
+
+var strings64 = []string{
+	"aa-survivor-key-that-sticks-around-for-the-whole-run-0123456789",
+	"bb-transient-key-padding-padding-padding-padding-padding-000000",
+	"cc-transient-key-padding-padding-padding-padding-padding-111111",
+	"dd-transient-key-padding-padding-padding-padding-padding-222222",
+}

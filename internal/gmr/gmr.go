@@ -6,9 +6,28 @@
 // multiplicities and "applying" an update means adding it. Together with the
 // addition (bag union) and multiplication (natural join) operations defined
 // here, GMRs form the ring that makes delta processing compositional.
+//
+// Storage is a flat open-addressing hash table (see flat.go): keys live as
+// raw bytes in a bump-allocated arena, entries in a slot slice with stable
+// ids, so lookups and in-place updates never convert bytes to strings and an
+// insert amortizes to one arena append.
+//
+// # Aliasing contract
+//
+// A tuple held by a GMR is immutable: no operation writes through it after
+// insertion. Clone, Negate, Scale, MergeInto and AddGMR therefore share
+// tuples between source and result instead of deep-copying them. Callers
+// that hand a GMR a tuple they intend to mutate must go through the byte-
+// keyed entry points (Add, AddEncoded, UpsertEncoded, Set), which clone the
+// tuple when a new entry is created.
+//
+// Reads (Get, Lookup*, Foreach*, Probe-style slot accessors) are safe for
+// concurrent use with each other; mutations are not, and must not overlap
+// with reads.
 package gmr
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -29,16 +48,26 @@ type Entry struct {
 }
 
 // GMR is a generalized multiset relation: a finite map from tuples (over a
-// fixed schema of variable names) to rational multiplicities, represented here
-// with float64.
+// fixed schema of variable names) to rational multiplicities, represented
+// with float64 and stored in the flat table of flat.go.
 type GMR struct {
 	schema types.Schema
-	rows   map[string]Entry
+	arena  []byte
+	slots  []slot
+	index  []uint64
+	free   []int32
+	live   int
+	// deadKey counts arena bytes owned by tombstoned slots, driving
+	// compaction.
+	deadKey int
+	// keyBuf is the scratch encoding buffer of the tuple-taking mutating
+	// entry points (Add, Set); mutations are single-goroutine by contract.
+	keyBuf []byte
 }
 
 // New returns an empty GMR with the given schema.
 func New(schema types.Schema) *GMR {
-	return &GMR{schema: schema.Clone(), rows: make(map[string]Entry)}
+	return &GMR{schema: schema.Clone()}
 }
 
 // NewScalar returns a nullary GMR (empty schema) whose single tuple 〈〉 has
@@ -46,7 +75,7 @@ func New(schema types.Schema) *GMR {
 func NewScalar(m float64) *GMR {
 	g := New(nil)
 	if m != 0 {
-		g.rows[""] = Entry{Tuple: types.Tuple{}, Mult: m}
+		g.AddEncoded(nil, types.Tuple{}, m)
 	}
 	return g
 }
@@ -55,28 +84,31 @@ func NewScalar(m float64) *GMR {
 func (g *GMR) Schema() types.Schema { return g.schema }
 
 // Len returns the number of tuples with non-zero multiplicity.
-func (g *GMR) Len() int { return len(g.rows) }
+func (g *GMR) Len() int { return g.live }
 
 // IsEmpty reports whether the GMR has no non-zero entries.
-func (g *GMR) IsEmpty() bool { return len(g.rows) == 0 }
+func (g *GMR) IsEmpty() bool { return g.live == 0 }
 
-// Get returns the multiplicity of the given tuple (0 if absent).
+// Get returns the multiplicity of the given tuple (0 if absent). Get is
+// read-only and safe for concurrent use with other reads.
 func (g *GMR) Get(t types.Tuple) float64 {
-	e, ok := g.rows[t.EncodeKey()]
-	if !ok {
+	if g.live == 0 {
 		return 0
 	}
-	return e.Mult
+	var kb [96]byte
+	return g.GetEncoded(t.AppendKey(kb[:0]))
 }
 
 // ScalarValue returns the multiplicity of the empty tuple; for nullary GMRs
 // this is the aggregate value the GMR denotes.
 func (g *GMR) ScalarValue() float64 {
-	e, ok := g.rows[""]
-	if !ok {
-		return 0
+	return g.GetEncoded(nil)
+}
+
+func (g *GMR) checkArity(t types.Tuple) {
+	if len(t) != len(g.schema) {
+		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
 	}
-	return e.Mult
 }
 
 // Add increments the multiplicity of tuple t by m, removing the entry if the
@@ -87,133 +119,194 @@ func (g *GMR) Add(t types.Tuple, m float64) float64 {
 	if m == 0 {
 		return 0
 	}
-	return g.AddKeyed(t.EncodeKey(), t, m)
+	g.checkArity(t)
+	g.keyBuf = t.AppendKey(g.keyBuf[:0])
+	_, nm, _ := g.upsertHashed(hashKey(g.keyBuf), g.keyBuf, t, m, true)
+	return nm
 }
 
 // Set assigns the multiplicity of tuple t to m (removing it when m is zero).
 func (g *GMR) Set(t types.Tuple, m float64) {
-	k := t.EncodeKey()
+	g.checkArity(t)
+	g.keyBuf = t.AppendKey(g.keyBuf[:0])
+	h := hashKey(g.keyBuf)
+	pos, id, ok := g.find(h, g.keyBuf)
 	if math.Abs(m) <= Epsilon {
-		delete(g.rows, k)
+		if ok {
+			g.deleteAt(pos, id)
+		}
 		return
 	}
-	g.rows[k] = Entry{Tuple: t.Clone(), Mult: m}
+	if ok {
+		g.slots[id].mult = m
+		return
+	}
+	g.insertAt(pos, h, g.keyBuf, t, m, true)
 }
 
-// Foreach calls fn for every entry of the GMR in unspecified order.
+// Foreach calls fn for every entry of the GMR in slot order. fn must not
+// mutate the GMR.
 func (g *GMR) Foreach(fn func(t types.Tuple, m float64)) {
-	for _, e := range g.rows {
-		fn(e.Tuple, e.Mult)
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		fn(s.tuple, s.mult)
 	}
 }
 
 // ForeachKeyed calls fn for every entry together with its canonical encoded
-// key. Bulk consumers (MergeInto, the engine's batch delta application) use
-// the key to address the destination map without re-encoding the tuple.
-func (g *GMR) ForeachKeyed(fn func(key string, t types.Tuple, m float64)) {
-	for k, e := range g.rows {
-		fn(k, e.Tuple, e.Mult)
+// key. Bulk consumers (the engine's delta merge) use the key to address the
+// destination table without re-encoding the tuple; the key bytes alias the
+// arena and are only valid during the call. fn must not mutate the GMR.
+func (g *GMR) ForeachKeyed(fn func(key []byte, t types.Tuple, m float64)) {
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		fn(g.keyAt(s), s.tuple, s.mult)
 	}
 }
 
-// AddKeyed is Add for callers that already hold the tuple's canonical encoded
-// key (as produced by Tuple.EncodeKey); it skips re-encoding. It returns the
-// tuple's new multiplicity (0 when the entry was removed or never created).
-// Like Add, a zero m leaves the GMR unchanged and returns 0 without looking
-// the key up.
-func (g *GMR) AddKeyed(key string, t types.Tuple, m float64) float64 {
-	if m == 0 {
-		return 0
+// ForeachSlot is ForeachKeyed exposing the entry's stable slot id instead of
+// its key; the engine builds its secondary-index postings from it.
+func (g *GMR) ForeachSlot(fn func(id int32, t types.Tuple, m float64)) {
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		fn(int32(i), s.tuple, s.mult)
 	}
-	if len(t) != len(g.schema) {
-		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
-	}
-	e, ok := g.rows[key]
-	if !ok {
-		g.rows[key] = Entry{Tuple: t.Clone(), Mult: m}
-		return m
-	}
-	e.Mult += m
-	if math.Abs(e.Mult) <= Epsilon {
-		delete(g.rows, key)
-		return 0
-	}
-	g.rows[key] = e
-	return e.Mult
 }
 
-// AddEncoded is AddKeyed for callers holding the key as a byte slice (built
-// with Tuple.AppendKey into a reused buffer). The bytes are only converted to
-// a string — the one allocation of the insert path — when a new entry is
-// created; lookups and in-place updates allocate nothing. The tuple is cloned
-// on insert, so callers may reuse both buffers.
+// SlotEntry returns the entry stored in the given live slot. The tuple
+// aliases the store. Slot ids come from UpsertEncoded/ForeachSlot and stay
+// valid until the entry is removed (or the GMR is Reset/Cleared).
+func (g *GMR) SlotEntry(id int32) Entry {
+	s := &g.slots[id]
+	return Entry{Tuple: s.tuple, Mult: s.mult}
+}
+
+// AddEncoded is Add for callers that already hold the tuple's canonical key
+// encoding (built with Tuple.AppendKey into a reused buffer); it skips
+// re-encoding, and neither the key bytes nor the tuple are retained — the
+// key is appended to the arena and the tuple cloned only when a new entry is
+// created, so callers may reuse both buffers. Like Add, a zero m leaves the
+// GMR unchanged and returns 0 without probing.
 func (g *GMR) AddEncoded(key []byte, t types.Tuple, m float64) float64 {
 	if m == 0 {
 		return 0
 	}
-	if len(t) != len(g.schema) {
-		panic(fmt.Sprintf("gmr: tuple arity %d does not match schema %v", len(t), g.schema))
+	g.checkArity(t)
+	_, nm, _ := g.upsertHashed(hashKey(key), key, t, m, true)
+	return nm
+}
+
+// UpsertEncoded is AddEncoded additionally reporting the affected slot id
+// and whether a new slot was created; newMult == 0 means the entry was
+// removed and id names the now-freed slot. The engine's views use it to keep
+// secondary-index postings in sync. A zero m returns (-1, 0, false) without
+// probing.
+func (g *GMR) UpsertEncoded(key []byte, t types.Tuple, m float64) (id int32, newMult float64, inserted bool) {
+	if m == 0 {
+		return -1, 0, false
 	}
-	e, ok := g.rows[string(key)]
-	if !ok {
-		g.rows[string(key)] = Entry{Tuple: t.Clone(), Mult: m}
-		return m
+	g.checkArity(t)
+	return g.upsertHashed(hashKey(key), key, t, m, true)
+}
+
+// UpsertEncodedShared is UpsertEncoded for callers whose tuple is already
+// immutable (typically held by another GMR, like a merged delta's): an
+// inserted entry aliases t instead of cloning it, per the package aliasing
+// contract.
+func (g *GMR) UpsertEncodedShared(key []byte, t types.Tuple, m float64) (id int32, newMult float64, inserted bool) {
+	if m == 0 {
+		return -1, 0, false
 	}
-	e.Mult += m
-	if math.Abs(e.Mult) <= Epsilon {
-		delete(g.rows, string(key))
-		return 0
-	}
-	g.rows[string(key)] = e
-	return e.Mult
+	g.checkArity(t)
+	return g.upsertHashed(hashKey(key), key, t, m, false)
 }
 
 // GetEncoded returns the multiplicity stored under the encoded key (0 if
 // absent) without allocating.
 func (g *GMR) GetEncoded(key []byte) float64 {
-	return g.rows[string(key)].Mult
+	if g.live == 0 {
+		return 0
+	}
+	if _, id, ok := g.find(hashKey(key), key); ok {
+		return g.slots[id].mult
+	}
+	return 0
 }
 
 // LookupEncoded returns the entry stored under the encoded key, if any,
-// without allocating.
+// without allocating. The tuple aliases the store.
 func (g *GMR) LookupEncoded(key []byte) (Entry, bool) {
-	e, ok := g.rows[string(key)]
-	return e, ok
+	if g.live == 0 {
+		return Entry{}, false
+	}
+	if _, id, ok := g.find(hashKey(key), key); ok {
+		return g.SlotEntry(id), true
+	}
+	return Entry{}, false
 }
 
-// Entries returns the entries of the GMR sorted by tuple key; the order is
-// deterministic, which tests and pretty-printers rely on.
+// Entries returns the entries of the GMR sorted by canonical key; the order
+// is deterministic, which tests and pretty-printers rely on.
 func (g *GMR) Entries() []Entry {
-	keys := make([]string, 0, len(g.rows))
-	for k := range g.rows {
-		keys = append(keys, k)
+	ids := make([]int32, 0, g.live)
+	for i := range g.slots {
+		if !g.slots[i].dead {
+			ids = append(ids, int32(i))
+		}
 	}
-	sort.Strings(keys)
-	out := make([]Entry, len(keys))
-	for i, k := range keys {
-		out[i] = g.rows[k]
+	sort.Slice(ids, func(a, b int) bool {
+		return bytes.Compare(g.keyAt(&g.slots[ids[a]]), g.keyAt(&g.slots[ids[b]])) < 0
+	})
+	out := make([]Entry, len(ids))
+	for i, id := range ids {
+		out[i] = g.SlotEntry(id)
 	}
 	return out
 }
 
-// Clone returns a deep copy of the GMR.
+// Clone returns a copy of the GMR. Per the package aliasing contract the
+// copy shares the (immutable) tuples with the receiver; arena, slots and
+// probe table are copied, so the two evolve independently.
 func (g *GMR) Clone() *GMR {
-	out := New(g.schema)
-	for k, e := range g.rows {
-		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: e.Mult}
-	}
+	out := &GMR{schema: g.schema.Clone(), live: g.live, deadKey: g.deadKey}
+	out.arena = append([]byte(nil), g.arena...)
+	out.slots = append([]slot(nil), g.slots...)
+	out.index = append([]uint64(nil), g.index...)
+	out.free = append([]int32(nil), g.free...)
 	return out
 }
 
-// Clear removes all entries.
-func (g *GMR) Clear() { g.rows = make(map[string]Entry) }
+// Clear removes all entries and releases the table's memory.
+func (g *GMR) Clear() {
+	*g = GMR{schema: g.schema}
+}
 
-// Reset removes all entries but keeps the allocated buckets, so a scratch GMR
-// reused across events stops allocating once it has grown to working-set size.
-func (g *GMR) Reset() { clear(g.rows) }
+// Reset removes all entries but keeps the allocated arena, slot slice and
+// probe table, so a scratch GMR reused across events stops allocating once
+// it has grown to working-set size. Slot ids from before the Reset are
+// invalidated.
+func (g *GMR) Reset() {
+	g.arena = g.arena[:0]
+	g.slots = g.slots[:0]
+	g.free = g.free[:0]
+	clear(g.index)
+	g.live = 0
+	g.deadKey = 0
+}
 
-// MergeInto adds every entry of o (scaled by factor) into g. The schemas must
-// be identical; it is the GMR ring's "+" applied in place.
+// MergeInto adds every entry of o (scaled by factor) into g. The schemas
+// must be identical; it is the GMR ring's "+" applied in place. Source keys
+// and cached hashes are reused (no re-encoding), and inserted entries share
+// o's tuples.
 func (g *GMR) MergeInto(o *GMR, factor float64) {
 	if o == nil || factor == 0 {
 		return
@@ -221,10 +314,16 @@ func (g *GMR) MergeInto(o *GMR, factor float64) {
 	if !g.schema.Equal(o.schema) {
 		panic(fmt.Sprintf("gmr: MergeInto schema mismatch %v vs %v", g.schema, o.schema))
 	}
-	// The source rows carry their canonical keys already; reuse them instead
-	// of re-encoding every tuple.
-	for k, e := range o.rows {
-		g.AddKeyed(k, e.Tuple, e.Mult*factor)
+	for i := range o.slots {
+		s := &o.slots[i]
+		if s.dead {
+			continue
+		}
+		m := s.mult * factor
+		if m == 0 {
+			continue
+		}
+		g.upsertHashed(s.hash, o.keyAt(s), s.tuple, m, false)
 	}
 }
 
@@ -235,29 +334,36 @@ func AddGMR(a, b *GMR) *GMR {
 	return out
 }
 
-// Negate returns -g. Entries keep their canonical keys, so no tuple is
-// re-encoded.
+// Negate returns -g. The result is a structural copy sharing g's tuples;
+// keys and hashes are not recomputed.
 func Negate(g *GMR) *GMR {
-	out := New(g.schema)
-	for k, e := range g.rows {
-		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: -e.Mult}
+	out := g.Clone()
+	for i := range out.slots {
+		if !out.slots[i].dead {
+			out.slots[i].mult = -out.slots[i].mult
+		}
 	}
 	return out
 }
 
-// Scale returns g with every multiplicity multiplied by f. Entries keep their
-// canonical keys, so no tuple is re-encoded.
+// Scale returns g with every multiplicity multiplied by f, dropping entries
+// that land within Epsilon of zero. The result shares g's tuples and reuses
+// its key bytes and cached hashes.
 func Scale(g *GMR, f float64) *GMR {
 	out := New(g.schema)
 	if f == 0 {
 		return out
 	}
-	for k, e := range g.rows {
-		m := e.Mult * f
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		m := s.mult * f
 		if math.Abs(m) <= Epsilon {
 			continue
 		}
-		out.rows[k] = Entry{Tuple: e.Tuple.Clone(), Mult: m}
+		out.upsertHashed(s.hash, g.keyAt(s), s.tuple, m, false)
 	}
 	return out
 }
@@ -268,18 +374,25 @@ func Equal(a, b *GMR, tol float64) bool {
 	if !a.schema.Equal(b.schema) {
 		return false
 	}
-	for k, e := range a.rows {
-		o, ok := b.rows[k]
-		m := 0.0
-		if ok {
-			m = o.Mult
+	for i := range a.slots {
+		s := &a.slots[i]
+		if s.dead {
+			continue
 		}
-		if math.Abs(e.Mult-m) > tol {
+		m := 0.0
+		if _, id, ok := b.find(s.hash, a.keyAt(s)); ok {
+			m = b.slots[id].mult
+		}
+		if math.Abs(s.mult-m) > tol {
 			return false
 		}
 	}
-	for k, e := range b.rows {
-		if _, ok := a.rows[k]; !ok && math.Abs(e.Mult) > tol {
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.dead {
+			continue
+		}
+		if _, _, ok := a.find(s.hash, b.keyAt(s)); !ok && math.Abs(s.mult) > tol {
 			return false
 		}
 	}
@@ -291,6 +404,8 @@ func Equal(a, b *GMR, tol float64) bool {
 // multiplicities multiply. The smaller side is hashed on the shared columns
 // and the larger side probes it, so the cost is O(|a| + |b| + |result|); with
 // no shared columns every pair matches and the result is the cross product.
+// Output rows are emitted through one reused tuple and key buffer — the only
+// per-row allocation is the tuple clone of a genuinely new output entry.
 func Join(a, b *GMR) *GMR {
 	aShared := make([]int, 0, len(b.schema)) // positions in a of the shared columns
 	bShared := make([]int, 0, len(b.schema)) // matching positions in b
@@ -306,17 +421,20 @@ func Join(a, b *GMR) *GMR {
 		}
 	}
 	out := New(outSchema)
-	if len(a.rows) == 0 || len(b.rows) == 0 {
+	if a.live == 0 || b.live == 0 {
 		return out
 	}
 
+	outT := make(types.Tuple, len(outSchema))
+	var outKey []byte
 	emit := func(ea, eb Entry) {
-		t := make(types.Tuple, 0, len(outSchema))
-		t = append(t, ea.Tuple...)
+		n := copy(outT, ea.Tuple)
 		for _, bi := range bExtra {
-			t = append(t, eb.Tuple[bi])
+			outT[n] = eb.Tuple[bi]
+			n++
 		}
-		out.Add(t, ea.Mult*eb.Mult)
+		outKey = outT.AppendKey(outKey[:0])
+		out.AddEncoded(outKey, outT, ea.Mult*eb.Mult)
 	}
 
 	// Hash the smaller side on the shared columns; probe with the larger. The
@@ -332,35 +450,39 @@ func Join(a, b *GMR) *GMR {
 		}
 		return keyBuf
 	}
-	if len(a.rows) <= len(b.rows) {
-		index := make(map[string][]Entry, len(a.rows))
-		for _, ea := range a.rows {
-			k := joinKey(ea.Tuple, aShared)
-			index[string(k)] = append(index[string(k)], ea)
-		}
-		for _, eb := range b.rows {
-			for _, ea := range index[string(joinKey(eb.Tuple, bShared))] {
+	if a.live <= b.live {
+		index := make(map[string][]Entry, a.live)
+		a.Foreach(func(t types.Tuple, m float64) {
+			k := joinKey(t, aShared)
+			index[string(k)] = append(index[string(k)], Entry{Tuple: t, Mult: m})
+		})
+		b.Foreach(func(t types.Tuple, m float64) {
+			eb := Entry{Tuple: t, Mult: m}
+			for _, ea := range index[string(joinKey(t, bShared))] {
 				emit(ea, eb)
 			}
-		}
+		})
 		return out
 	}
-	index := make(map[string][]Entry, len(b.rows))
-	for _, eb := range b.rows {
-		k := joinKey(eb.Tuple, bShared)
-		index[string(k)] = append(index[string(k)], eb)
-	}
-	for _, ea := range a.rows {
-		for _, eb := range index[string(joinKey(ea.Tuple, aShared))] {
+	index := make(map[string][]Entry, b.live)
+	b.Foreach(func(t types.Tuple, m float64) {
+		k := joinKey(t, bShared)
+		index[string(k)] = append(index[string(k)], Entry{Tuple: t, Mult: m})
+	})
+	a.Foreach(func(t types.Tuple, m float64) {
+		ea := Entry{Tuple: t, Mult: m}
+		for _, eb := range index[string(joinKey(t, aShared))] {
 			emit(ea, eb)
 		}
-	}
+	})
 	return out
 }
 
 // Project returns the multiplicity-preserving projection of g onto the given
 // columns (the Sum_A group-by aggregation of AGCA): tuples are projected and
-// their multiplicities summed.
+// their multiplicities summed. Projected rows are emitted through one reused
+// tuple and key buffer, so rows that collapse onto an existing group
+// allocate nothing.
 func Project(g *GMR, cols types.Schema) *GMR {
 	idx := make([]int, len(cols))
 	for i, c := range cols {
@@ -371,13 +493,15 @@ func Project(g *GMR, cols types.Schema) *GMR {
 		idx[i] = j
 	}
 	out := New(cols)
-	for _, e := range g.rows {
-		t := make(types.Tuple, len(cols))
+	outT := make(types.Tuple, len(cols))
+	var outKey []byte
+	g.Foreach(func(t types.Tuple, m float64) {
 		for i, j := range idx {
-			t[i] = e.Tuple[j]
+			outT[i] = t[j]
 		}
-		out.Add(t, e.Mult)
-	}
+		outKey = outT.AppendKey(outKey[:0])
+		out.AddEncoded(outKey, outT, m)
+	})
 	return out
 }
 
@@ -405,11 +529,17 @@ func (g *GMR) String() string {
 	return b.String()
 }
 
-// MemSize estimates the in-memory footprint of the GMR in bytes.
+// MemSize reports the in-memory footprint of the GMR in bytes, exact for the
+// table itself (arena, slot records, probe table, free list) plus the
+// estimated payload of the live tuples.
 func (g *GMR) MemSize() int {
-	n := 48
-	for k, e := range g.rows {
-		n += len(k) + 16 + e.Tuple.MemSize() + 8
+	n := 96 + cap(g.arena) + cap(g.slots)*slotBytes + cap(g.index)*8 + cap(g.free)*4
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		n += s.tuple.MemSize()
 	}
 	return n
 }

@@ -253,7 +253,7 @@ func TestAddArityPanics(t *testing.T) {
 	g.Add(tup(1), 1)
 }
 
-func TestAddKeyedMatchesAdd(t *testing.T) {
+func TestUpsertEncodedMatchesAdd(t *testing.T) {
 	a := New(types.Schema{"a", "b"})
 	b := New(types.Schema{"a", "b"})
 	rows := []struct {
@@ -262,24 +262,31 @@ func TestAddKeyedMatchesAdd(t *testing.T) {
 	}{
 		{tup(1, 2), 3}, {tup(1, 2), -1}, {tup(4, 5), 2}, {tup(1, 2), -2}, {tup(7, 8), 1.5},
 	}
+	var buf []byte
 	for _, r := range rows {
 		a.Add(r.t, r.m)
-		got := b.AddKeyed(r.t.EncodeKey(), r.t, r.m)
+		buf = r.t.AppendKey(buf[:0])
+		id, got, _ := b.UpsertEncoded(buf, r.t, r.m)
 		if want := b.Get(r.t); got != want {
-			t.Fatalf("AddKeyed returned %v, stored multiplicity is %v", got, want)
+			t.Fatalf("UpsertEncoded returned %v, stored multiplicity is %v", got, want)
+		}
+		if got != 0 {
+			if e := b.SlotEntry(id); e.Mult != got || !e.Tuple.Equal(r.t) {
+				t.Fatalf("SlotEntry(%d) = %v, want (%v, %v)", id, e, r.t, got)
+			}
 		}
 	}
 	if !Equal(a, b, 0) {
-		t.Fatalf("AddKeyed diverged from Add: %v vs %v", a, b)
+		t.Fatalf("UpsertEncoded diverged from Add: %v vs %v", a, b)
 	}
 }
 
 func TestForeachKeyedKeysAreCanonical(t *testing.T) {
 	g := FromRows(types.Schema{"a", "b"}, []types.Tuple{tup(1, 2), tup(3, 4)})
 	n := 0
-	g.ForeachKeyed(func(key string, tu types.Tuple, m float64) {
+	g.ForeachKeyed(func(key []byte, tu types.Tuple, m float64) {
 		n++
-		if key != tu.EncodeKey() {
+		if string(key) != tu.EncodeKey() {
 			t.Fatalf("key %q does not match EncodeKey %q", key, tu.EncodeKey())
 		}
 		if m != 1 {
@@ -288,5 +295,42 @@ func TestForeachKeyedKeysAreCanonical(t *testing.T) {
 	})
 	if n != 2 {
 		t.Fatalf("visited %d entries, want 2", n)
+	}
+}
+
+// TestForeachSlotIdsStable pins the slot-id stability contract the engine's
+// secondary-index postings rely on: removing or inserting other entries
+// never moves a live entry's slot.
+func TestForeachSlotIdsStable(t *testing.T) {
+	g := New(types.Schema{"a"})
+	ids := map[int64]int32{}
+	var buf []byte
+	for i := int64(0); i < 100; i++ {
+		tu := tup(i)
+		buf = tu.AppendKey(buf[:0])
+		id, _, inserted := g.UpsertEncoded(buf, tu, 1)
+		if !inserted {
+			t.Fatalf("expected insert for %d", i)
+		}
+		ids[i] = id
+	}
+	for i := int64(0); i < 100; i += 2 {
+		g.Add(tup(i), -1) // remove the even keys
+	}
+	for i := int64(1); i < 100; i += 2 {
+		e := g.SlotEntry(ids[i])
+		if e.Mult != 1 || !e.Tuple.Equal(tup(i)) {
+			t.Fatalf("slot %d moved: %v", ids[i], e)
+		}
+	}
+	seen := 0
+	g.ForeachSlot(func(id int32, tu types.Tuple, m float64) {
+		seen++
+		if want := ids[tu[0].AsInt()]; id != want {
+			t.Fatalf("ForeachSlot id %d, want %d for %v", id, want, tu)
+		}
+	})
+	if seen != 50 {
+		t.Fatalf("ForeachSlot visited %d entries, want 50", seen)
 	}
 }

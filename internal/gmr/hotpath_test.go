@@ -7,21 +7,21 @@ import (
 	"dbtoaster/internal/types"
 )
 
-// TestAddKeyedZeroMatchesAdd pins the m == 0 contract shared by Add,
-// AddKeyed and AddEncoded: the GMR is unchanged and 0 is returned without
-// looking the tuple up — even when an entry exists under that key.
-func TestAddKeyedZeroMatchesAdd(t *testing.T) {
+// TestAddZeroContract pins the m == 0 contract shared by Add, AddEncoded
+// and UpsertEncoded: the GMR is unchanged and 0 is returned without probing
+// the table — even when an entry exists under that key.
+func TestAddZeroContract(t *testing.T) {
 	g := New(types.Schema{"a"})
 	g.Add(tup(1), 5)
-	key := tup(1).EncodeKey()
+	key := []byte(tup(1).EncodeKey())
 	if got := g.Add(tup(1), 0); got != 0 {
 		t.Errorf("Add(t, 0) = %v, want 0", got)
 	}
-	if got := g.AddKeyed(key, tup(1), 0); got != 0 {
-		t.Errorf("AddKeyed(k, t, 0) = %v, want 0", got)
-	}
-	if got := g.AddEncoded([]byte(key), tup(1), 0); got != 0 {
+	if got := g.AddEncoded(key, tup(1), 0); got != 0 {
 		t.Errorf("AddEncoded(k, t, 0) = %v, want 0", got)
+	}
+	if id, nm, inserted := g.UpsertEncoded(key, tup(1), 0); id != -1 || nm != 0 || inserted {
+		t.Errorf("UpsertEncoded(k, t, 0) = (%v, %v, %v), want (-1, 0, false)", id, nm, inserted)
 	}
 	if g.Get(tup(1)) != 5 {
 		t.Errorf("zero adds must leave the entry untouched, got %v", g.Get(tup(1)))
@@ -97,8 +97,8 @@ func TestNegateScaleKeepKeys(t *testing.T) {
 		if out.Len() != g.Len() {
 			t.Fatalf("%s changed the entry count", name)
 		}
-		out.ForeachKeyed(func(key string, tu types.Tuple, m float64) {
-			if key != tu.EncodeKey() {
+		out.ForeachKeyed(func(key []byte, tu types.Tuple, m float64) {
+			if string(key) != tu.EncodeKey() {
 				t.Errorf("%s: key %q is not canonical for %v", name, key, tu)
 			}
 			if want := g.Get(tu) * f; m != want {
@@ -108,6 +108,76 @@ func TestNegateScaleKeepKeys(t *testing.T) {
 	}
 	if Scale(g, 0).Len() != 0 {
 		t.Error("Scale by 0 should be empty")
+	}
+}
+
+// TestCloneNegateScaleShareTuples pins the package aliasing contract: the
+// results of Clone, Negate, Scale and MergeInto share (not copy) the
+// source's immutable tuples, and mutating the copy's table never disturbs
+// the source.
+func TestCloneNegateScaleShareTuples(t *testing.T) {
+	g := FromRows(types.Schema{"a", "b"}, []types.Tuple{tup(1, 2), tup(3, 4)})
+	sameBacking := func(a, b types.Tuple) bool { return &a[0] == &b[0] }
+	srcTuple := func(out *GMR, want types.Tuple) types.Tuple {
+		var found types.Tuple
+		out.Foreach(func(tu types.Tuple, m float64) {
+			if tu.Equal(want) {
+				found = tu
+			}
+		})
+		return found
+	}
+	orig := srcTuple(g, tup(1, 2))
+	merged := New(types.Schema{"a", "b"})
+	merged.MergeInto(g, 2)
+	for name, out := range map[string]*GMR{
+		"Clone": g.Clone(), "Negate": Negate(g), "Scale": Scale(g, 3), "MergeInto": merged,
+	} {
+		if got := srcTuple(out, tup(1, 2)); got == nil || !sameBacking(got, orig) {
+			t.Errorf("%s: result tuple does not alias the source's", name)
+		}
+	}
+	// Independence of the tables themselves: mutating the clone must leave g
+	// untouched.
+	c := g.Clone()
+	c.Add(tup(1, 2), -1)
+	c.Add(tup(9, 9), 7)
+	if g.Get(tup(1, 2)) != 1 || g.Get(tup(9, 9)) != 0 {
+		t.Fatalf("mutating a clone disturbed the source: %v", g)
+	}
+}
+
+// TestJoinProjectAllocs pins the buffer-reusing emission paths of Join and
+// Project: rows that collapse onto existing groups allocate nothing, and
+// genuinely new output rows cost one tuple clone each (plus the amortized
+// growth of the output table), far below the old per-row key-string +
+// re-encode cost.
+func TestJoinProjectAllocs(t *testing.T) {
+	const n = 256
+	a := New(types.Schema{"x", "y"})
+	bb := New(types.Schema{"y", "z"})
+	for i := int64(0); i < n; i++ {
+		a.Add(tup(i, i%16), 1)
+		bb.Add(tup(i%16, i), 1)
+	}
+	// Project collapses all n rows onto 16 groups: steady-state is pure
+	// in-place accumulation, so the whole run should stay within the output
+	// table's own working set (16 inserts + table growth), not O(n).
+	projAllocs := testing.AllocsPerRun(10, func() {
+		Project(a, types.Schema{"y"})
+	})
+	if projAllocs > 64 {
+		t.Errorf("Project allocated %.0f times for %d rows / 16 groups; want <= 64", projAllocs, n)
+	}
+	// The join emits n*16 distinct rows; each costs one output-tuple clone,
+	// the rest (key encoding, probing, build index) reuses buffers. The old
+	// out.Add path paid >= 3 allocations per row.
+	rows := float64(n * 16)
+	joinAllocs := testing.AllocsPerRun(5, func() {
+		Join(a, bb)
+	})
+	if joinAllocs > 1.5*rows {
+		t.Errorf("Join allocated %.0f times for %.0f output rows; want <= %.0f", joinAllocs, rows, 1.5*rows)
 	}
 }
 
@@ -138,8 +208,9 @@ func joinNestedLoop(a, b *GMR) *GMR {
 		}
 	}
 	out := New(outSchema)
-	for _, ea := range a.rows {
-		for _, eb := range b.rows {
+	bEntries := b.Entries()
+	for _, ea := range a.Entries() {
+		for _, eb := range bEntries {
 			ok := true
 			for i := 0; i < len(shared); i += 2 {
 				if !ea.Tuple[shared[i]].Equal(eb.Tuple[shared[i+1]]) {

@@ -171,6 +171,35 @@ func (v Value) Equal(o Value) bool { return Compare(v, o) == 0 }
 // compare numerically across int/float; strings lexicographically; null sorts
 // before everything; mixed non-numeric kinds order by kind.
 func Compare(a, b Value) int {
+	// Same-kind fast paths: the executors' per-row predicate checks almost
+	// always compare like kinds, and the general path below pays several
+	// coercion branches before reaching them.
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindInt, KindBool:
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		case KindFloat:
+			switch {
+			case a.f < b.f:
+				return -1
+			case a.f > b.f:
+				return 1
+			default:
+				return 0
+			}
+		case KindString:
+			return strings.Compare(a.s, b.s)
+		case KindNull:
+			return 0
+		}
+	}
 	if a.kind == KindNull || b.kind == KindNull {
 		switch {
 		case a.kind == b.kind:

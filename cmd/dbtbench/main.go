@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput | gmr_memory")
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput | gmr_memory | read_freshness")
 	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := flag.Float64("scale", 0.25, "stream scale factor")
 	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -25,6 +25,7 @@ func main() {
 	batch := flag.Int("batch", 1, "events per batch window (>1 uses the shard-parallel batch pipeline)")
 	shards := flag.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
 	execFlag := flag.String("exec", "compiled", "statement executors: compiled | interp | verify")
+	readers := flag.Int("readers", 2, "concurrent snapshot readers (read_freshness experiment)")
 	flag.Parse()
 
 	execMode, err := engine.ParseExecMode(*execFlag)
@@ -85,6 +86,10 @@ func main() {
 		results := bench.ExecSweep(pick(workload.Names("")), opts)
 		fmt.Println("Statement executors — DBToaster refreshes per second, interpreter vs compiled:")
 		fmt.Print(bench.FormatExecTable(results))
+	case "read_freshness":
+		results := bench.ReadFreshness(pick([]string{"Q1", "Q3", "Q6", "VWAP"}), []int{1, 4}, *readers, opts)
+		fmt.Println("Serving layer — write throughput vs reader QPS and snapshot staleness (DBToaster, batched replay):")
+		fmt.Print(bench.FormatFreshnessTable(results))
 	case "gmr_memory":
 		results := bench.MemoryProfile(pick([]string{"Q1", "Q3", "Q6", "Q12", "Q18a", "VWAP", "MDDB1"}), opts)
 		fmt.Println("GMR storage — flat-store view accounting vs runtime heap (compiled replay):")

@@ -45,9 +45,13 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		rate := float64(len(stream)) / elapsed.Seconds()
+		// Serve the freshest values from the pinned epoch: the snapshot is
+		// immutable, so a trading dashboard could keep reading it while the
+		// next burst of order-book events is applied.
+		snap := eng.Acquire()
 		fmt.Printf("%-5s  %6d events  %9.0f refreshes/s  %3d views  result rows: %d\n",
-			name, len(stream), rate, len(prog.Maps), eng.Result().Len())
-		for _, e := range eng.Result().Entries() {
+			name, len(stream), rate, len(prog.Maps), snap.Result().Len())
+		for _, e := range snap.Result().Entries() {
 			fmt.Printf("       %v -> %.2f\n", e.Tuple, e.Mult)
 			break // just a taste of the freshest view
 		}

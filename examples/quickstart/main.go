@@ -61,7 +61,11 @@ func main() {
 		if !u.Insert {
 			op = "delete from"
 		}
-		fmt.Printf("%-12s %-9s %v -> TotalSales = %.2f\n",
-			op, u.Relation, u.Tuple, eng.Result().ScalarValue())
+		// Reads go through the epoch snapshot: Acquire pins the freshly
+		// published state, and the returned view is immutable — safe to hand
+		// to other goroutines while the engine keeps applying updates.
+		snap := eng.Acquire()
+		fmt.Printf("%-12s %-9s %v -> TotalSales = %.2f (epoch: %d events)\n",
+			op, u.Relation, u.Tuple, snap.Result().ScalarValue(), snap.Events())
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbtoaster/internal/agca"
@@ -409,6 +411,179 @@ func FormatMemoryTable(results []MemoryResult) string {
 		fmt.Fprintf(&b, "%-10s %9d %12.1f %12.1f %12.1f %14.3f\n",
 			r.Query, r.Events, float64(r.ViewBytes)/1024,
 			float64(r.HeapBefore)/1024, float64(r.HeapAfter)/1024, perEvent)
+	}
+	return b.String()
+}
+
+// FreshnessResult is one row of the read_freshness experiment: write
+// throughput and reader-observed staleness while snapshot readers and a
+// change-stream subscriber run concurrently with batched maintenance.
+type FreshnessResult struct {
+	Query        string
+	Shards       int
+	Events       int     // events the writer replayed
+	WriteRate    float64 // events/s sustained by the writer with serving active
+	ReadQPS      float64 // snapshot acquisitions (each scanning the result) per second, summed over readers
+	AvgStaleness float64 // mean events the acquired snapshot lagged the live engine
+	MaxStaleness uint64
+	SubBatches   int // change batches the subscriber received
+	SubCoalesced int // publications folded into later batches by backpressure
+	Err          error
+}
+
+// ReadFreshness measures the serving layer: for each query and shard count,
+// a writer replays the stream through ApplyBatch while `readers` goroutines
+// continuously Acquire the current snapshot and scan the result view, and a
+// subscriber consumes the result change stream. It reports the write rate,
+// the aggregate read rate, and snapshot staleness in events — the freshness
+// a dashboard consumer actually observes.
+func ReadFreshness(queries []string, shardCounts []int, readers int, opts Options) []FreshnessResult {
+	if readers < 1 {
+		readers = 1
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 1 {
+		batchSize = 256
+	}
+	var out []FreshnessResult
+	for _, q := range queries {
+		for _, shards := range shardCounts {
+			res := FreshnessResult{Query: q, Shards: shards}
+			spec, ok := workload.Get(q)
+			if !ok {
+				res.Err = fmt.Errorf("unknown query %q", q)
+				out = append(out, res)
+				continue
+			}
+			o := opts
+			o.Shards = shards
+			eng, events, err := setup(spec, compiler.ModeDBToaster, o)
+			if err != nil {
+				res.Err = err
+				out = append(out, res)
+				continue
+			}
+
+			// Serving topology is set up before the writer starts (the first
+			// Acquire/Subscribe flips the engine into serving mode).
+			sub, err := eng.Subscribe("", engine.SubscribeOptions{Buffer: 64})
+			if err != nil {
+				res.Err = err
+				out = append(out, res)
+				continue
+			}
+			var subBatches, subCoalesced int
+			var subWG sync.WaitGroup
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				for cb := range sub.C {
+					subBatches++
+					subCoalesced += cb.Coalesced
+				}
+			}()
+
+			var (
+				done     = make(chan struct{})
+				readerWG sync.WaitGroup
+				reads    atomic.Uint64
+				staleSum atomic.Uint64
+				staleMax atomic.Uint64
+			)
+			eng.Acquire()
+			for r := 0; r < readers; r++ {
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						s := eng.Acquire()
+						_ = s.Result().Len()
+						stale := eng.Events() - s.Events()
+						reads.Add(1)
+						staleSum.Add(stale)
+						for {
+							old := staleMax.Load()
+							if stale <= old || staleMax.CompareAndSwap(old, stale) {
+								break
+							}
+						}
+						// Yield between reads so the experiment interleaves
+						// readers with the writer even on a single core
+						// (spinning on the cached-snapshot fast path would
+						// otherwise starve whichever side lost the core).
+						runtime.Gosched()
+					}
+				}()
+			}
+
+			start := time.Now()
+			deadline := time.Time{}
+			if opts.Budget > 0 {
+				deadline = start.Add(opts.Budget)
+			}
+			// The stream is cycled until the budget expires so the serving
+			// side is measured against a continuously busy writer even when
+			// the generated stream is short (multiplicities keep
+			// accumulating, which is fine for a throughput experiment).
+			batches := workload.Batches(events, batchSize)
+			processed := 0
+		replay:
+			for {
+				for _, batch := range batches {
+					if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+						res.Err = fmt.Errorf("events %d..%d: %w", processed, processed+len(batch)-1, err)
+						break replay
+					}
+					processed += len(batch)
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						break replay
+					}
+				}
+				if deadline.IsZero() {
+					break
+				}
+			}
+			elapsed := time.Since(start)
+			close(done)
+			readerWG.Wait()
+			sub.Cancel()
+			subWG.Wait()
+
+			res.Events = processed
+			if elapsed > 0 {
+				res.WriteRate = float64(processed) / elapsed.Seconds()
+				res.ReadQPS = float64(reads.Load()) / elapsed.Seconds()
+			}
+			if n := reads.Load(); n > 0 {
+				res.AvgStaleness = float64(staleSum.Load()) / float64(n)
+			}
+			res.MaxStaleness = staleMax.Load()
+			res.SubBatches = subBatches
+			res.SubCoalesced = subCoalesced
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// FormatFreshnessTable renders the read_freshness experiment.
+func FormatFreshnessTable(results []FreshnessResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %7s %9s %12s %12s %11s %11s %9s %10s\n",
+		"Query", "shards", "events", "writes/s", "reads/s", "avg-stale", "max-stale", "batches", "coalesced")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-8s %7d error: %v\n", r.Query, r.Shards, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %7d %9d %12.0f %12.0f %11.1f %11d %9d %10d\n",
+			r.Query, r.Shards, r.Events, r.WriteRate, r.ReadQPS,
+			r.AvgStaleness, r.MaxStaleness, r.SubBatches, r.SubCoalesced)
 	}
 	return b.String()
 }

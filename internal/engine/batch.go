@@ -203,7 +203,22 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 //
 // A batched group is applied atomically: if any of its events fails, none of
 // the group's deltas are merged.
+//
+// One epoch is published per batch: snapshot readers and subscribers observe
+// batch boundaries, never a half-applied window.
 func (e *Engine) ApplyBatch(b *Batch) error {
+	if !e.serveActive.Load() {
+		return e.applyBatchGroups(b, false)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publishLocked()
+	return e.applyBatchGroups(b, true)
+}
+
+// applyBatchGroups runs a batch's relation groups; in serving mode (serve
+// true) callers hold e.mu.
+func (e *Engine) applyBatchGroups(b *Batch, serve bool) error {
 	for gi := range b.groups {
 		g := &b.groups[gi]
 		plan := e.planFor(g.relation)
@@ -214,10 +229,10 @@ func (e *Engine) ApplyBatch(b *Batch) error {
 		}
 		if !plan.batchable || e.execMode == ExecVerify {
 			// ExecVerify cross-checks executors on the sequential path, so
-			// batches degrade to verified per-event Apply rather than
+			// batches degrade to verified per-event execution rather than
 			// silently skipping the comparison.
 			for i := range g.events {
-				if err := e.Apply(g.events[i]); err != nil {
+				if err := e.applyPlanned(plan, &g.events[i], serve); err != nil {
 					return err
 				}
 			}
@@ -259,10 +274,11 @@ func (e *Engine) applyGroup(plan *relationPlan, events []Event) error {
 		if err != nil {
 			return err
 		}
-		e.events += n
+		e.countEvents(n)
 		for name, d := range deltas {
 			e.views[name].MergeDelta(d)
 		}
+		e.captureGroupLocked(deltas)
 		return nil
 	}
 
@@ -285,10 +301,28 @@ func (e *Engine) applyGroup(plan *relationPlan, events []Event) error {
 		}
 	}
 	for _, n := range counts {
-		e.events += n
+		e.countEvents(n)
 	}
 	e.mergeSharded(results)
+	for _, wd := range results {
+		e.captureGroupLocked(wd)
+	}
 	return nil
+}
+
+// captureGroupLocked folds a worker's per-view deltas into the subscription
+// hub's capture accumulators — the batched path feeds subscribers from the
+// very deltas it merged into the views, with no extra evaluation. Callers
+// hold e.mu.
+func (e *Engine) captureGroupLocked(deltas workerDeltas) {
+	if !e.capturing {
+		return
+	}
+	for name, d := range deltas {
+		if c := e.capture[name]; c != nil {
+			c.MergeInto(d, 1)
+		}
+	}
 }
 
 // splitChunks cuts events into at most n contiguous, near-equal chunks.

@@ -2,11 +2,21 @@
 // views (the paper's map data structures with secondary indexes), applies
 // update events by running the corresponding trigger's statements, and exposes
 // the continuously fresh query result.
+//
+// The engine is split into a write-side runtime and a read-side serving
+// layer. The write side (Apply, ApplyBatch) maintains the views and must be
+// driven from one goroutine. The read side is safe from any number of
+// goroutines concurrently with maintenance: Acquire pins the current epoch —
+// a consistent, immutable cross-view Snapshot published at event/batch
+// boundaries — and Subscribe streams per-view change batches to push-style
+// consumers (see subscribe.go).
 package engine
 
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dbtoaster/internal/agca"
 	"dbtoaster/internal/gmr"
@@ -18,15 +28,53 @@ import (
 // program. Single events are applied with Apply; windows of events can be
 // applied with ApplyBatch, which computes commuting per-trigger deltas once
 // per window and spreads independent view updates over shard workers. The
-// engine itself must be driven from one goroutine: Apply and ApplyBatch are
-// not safe to call concurrently.
+// write side must be driven from one goroutine (Apply and ApplyBatch are not
+// safe to call concurrently with each other); readers use Acquire and
+// Subscribe, which are safe concurrently with the write side.
 type Engine struct {
 	prog    *trigger.Program
 	views   map[string]*View
 	statics map[string]*View
 	// triggers indexed by event key for O(1) dispatch.
 	triggers map[string]*trigger.Trigger
-	events   uint64
+	// mu serializes the write side (Apply/ApplyBatch/Init/LoadStatic) with
+	// epoch acquisition and subscription changes. Writers hold it for the
+	// duration of an event or batch, so Acquire observes only event/batch
+	// boundaries; it is uncontended on the per-event hot path.
+	mu sync.Mutex
+	// serveActive is the maintain/serve mode switch. It starts false: the
+	// write path then takes no lock and counts events in eventsPlain — the
+	// exact single-threaded hot path of an engine nobody reads concurrently.
+	// The first Acquire or Subscribe flips it (permanently): writers then
+	// serialize on mu per event/batch and maintain the atomic events
+	// counter, which serving-side readers use as the lock-free epoch clock.
+	// The flip itself must not race with a write — acquire the first
+	// snapshot (or subscription) before concurrent maintenance begins, e.g.
+	// during setup or from the writer goroutine; from then on Acquire and
+	// Subscribe are safe from any goroutine.
+	serveActive atomic.Bool
+	eventsPlain uint64
+	// events counts processed update events in serving mode; it is atomic so
+	// readers measure staleness lock-free, and it doubles as the epoch
+	// invalidation clock: state changes exactly when events advances (or,
+	// for non-stream mutations like Init/LoadStatic, when adminGen does).
+	// snapVersion numbers the distinct snapshots built, purely for
+	// identification; it is only touched under mu.
+	events      atomic.Uint64
+	adminGen    atomic.Uint64
+	snapVersion uint64
+	// current caches the snapshot of the newest published epoch; Acquire
+	// returns it without locking while no write has intervened.
+	current atomic.Pointer[Snapshot]
+	// subs and capture implement the change-stream hub (subscribe.go): both
+	// are guarded by mu. capture holds, for each view with at least one
+	// subscriber, the delta accumulated since the last publication;
+	// capturing mirrors len(capture) != 0 as one plain bool so the
+	// per-statement check costs a single load (it only flips under mu, and
+	// only in serving mode, where writers hold mu too).
+	subs      map[string][]*Subscription
+	capture   map[string]*gmr.GMR
+	capturing bool
 	// shards is the size of the worker pool ApplyBatch uses; views are
 	// partitioned across workers by name hash.
 	shards int
@@ -91,6 +139,8 @@ func ParseExecMode(s string) (ExecMode, error) {
 // SetExecMode switches between compiled executors and the interpreter (and
 // the verify escape hatch). Cached plans are rebuilt on next use.
 func (e *Engine) SetExecMode(m ExecMode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.execMode = m
 	e.plans = map[string]*relationPlan{}
 	e.lastRel, e.lastPlan = "", nil
@@ -158,7 +208,9 @@ func (e *Engine) SetShards(n int) {
 	if n < 1 {
 		n = 1
 	}
+	e.mu.Lock()
 	e.shards = n
+	e.mu.Unlock()
 }
 
 // Shards returns the configured shard worker count.
@@ -170,15 +222,28 @@ func (e *Engine) Program() *trigger.Program { return e.prog }
 // LoadStatic installs the contents of a static relation (loaded before the
 // stream starts, like TPC-H's Nation/Region in the paper's setup). Statics
 // get the same lazily built secondary indexes as maintained views, so probes
-// against them are hash lookups rather than full scans.
+// against them are hash lookups rather than full scans. Snapshots share the
+// static tables, so the map is replaced copy-on-write: snapshots acquired
+// before the load keep the old table set.
 func (e *Engine) LoadStatic(name string, data *gmr.GMR) {
-	e.statics[name] = newStaticView(name, data)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	statics := make(map[string]*View, len(e.statics)+1)
+	for n, v := range e.statics {
+		statics[n] = v
+	}
+	statics[name] = newStaticView(name, data)
+	e.statics = statics
+	e.adminGen.Add(1)
 }
 
 // Init evaluates the definitions of views that depend only on static
 // relations (they receive no trigger statements) so that they are correct
 // before the first update arrives.
 func (e *Engine) Init() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.adminGen.Add(1)
 	for _, m := range e.prog.Maps {
 		if m.IsBaseTable {
 			continue
@@ -257,14 +322,24 @@ type Event struct {
 
 // Apply processes one update event through the relation's cached execution
 // plan: compiled statements run their closure executors, the rest bind the
-// trigger arguments to the tuple's values and take the interpreter.
+// trigger arguments to the tuple's values and take the interpreter. In
+// serving mode a new epoch is published after the event, so snapshot readers
+// and subscribers observe per-event granularity when events are applied one
+// at a time; an engine nobody serves runs the unlocked single-threaded path.
 func (e *Engine) Apply(ev Event) error {
+	if e.serveActive.Load() {
+		return e.applyServing(ev)
+	}
 	plan := e.planFor(ev.Relation)
 	if plan == nil {
 		// Relations that the query does not reference (or static relations)
 		// are ignored, like events the paper's generated engines drop.
 		return nil
 	}
+	// The body below mirrors applyPlanned (the batch/serving paths' shared
+	// helper) with the serving branches resolved away: Apply is the per-event
+	// hot loop of every single-threaded replay, and the extra call layer is
+	// measurable there.
 	tp := plan.delete
 	if ev.Insert {
 		tp = plan.insert
@@ -276,7 +351,50 @@ func (e *Engine) Apply(ev Event) error {
 		return fmt.Errorf("engine: event on %s carries %d values, trigger expects %d",
 			ev.Relation, len(ev.Tuple), len(tp.trig.Args))
 	}
-	e.events++
+	e.eventsPlain++
+	var env types.Env
+	for si := range tp.stmts {
+		if err := e.executeStmt(&tp.stmts[si], ev.Tuple, tp.trig.Args, &env); err != nil {
+			return fmt.Errorf("engine: %s: statement %q: %w", tp.trig.Key(), tp.stmts[si].stmt.String(), err)
+		}
+	}
+	return nil
+}
+
+// applyServing is Apply's serving-mode path: serialized against snapshot
+// acquisition and subscription changes, publishing an epoch after the event.
+func (e *Engine) applyServing(ev Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	plan := e.planFor(ev.Relation)
+	if plan == nil {
+		return nil
+	}
+	err := e.applyPlanned(plan, &ev, true)
+	e.publishLocked()
+	return err
+}
+
+// applyPlanned runs one event through its relation plan. In serving mode
+// (serve true), callers hold e.mu and publish the epoch afterwards. Apply's
+// unobserved fast path mirrors this body — keep the two in sync.
+func (e *Engine) applyPlanned(plan *relationPlan, ev *Event, serve bool) error {
+	tp := plan.delete
+	if ev.Insert {
+		tp = plan.insert
+	}
+	if tp == nil {
+		return nil
+	}
+	if len(tp.trig.Args) != len(ev.Tuple) {
+		return fmt.Errorf("engine: event on %s carries %d values, trigger expects %d",
+			ev.Relation, len(ev.Tuple), len(tp.trig.Args))
+	}
+	if serve {
+		e.events.Add(1)
+	} else {
+		e.eventsPlain++
+	}
 	// The interpreter environment is built lazily, only when some statement
 	// actually falls back to it.
 	var env types.Env
@@ -296,6 +414,10 @@ func (e *Engine) Apply(ev Event) error {
 // may leave a partial direct-emit delta applied; valid programs never hit
 // this.
 func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env) error {
+	var cap *gmr.GMR
+	if e.capturing {
+		cap = e.capture[sp.stmt.TargetMap]
+	}
 	if sp.exec == nil || e.execMode == ExecInterp {
 		if *env == nil {
 			*env = make(types.Env, len(args))
@@ -303,13 +425,19 @@ func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env
 				(*env)[a] = tuple[i]
 			}
 		}
-		return e.execute(sp.stmt, *env)
+		return e.execute(sp.stmt, *env, cap)
 	}
 	if e.execMode == ExecVerify {
-		return e.verifyStmt(sp, tuple, args, env)
+		return e.verifyStmt(sp, tuple, args, env, cap)
+	}
+	if sp.directEmit && cap == nil {
+		return sp.exec.RunCached(&sp.cache, e, tuple, sp.target)
 	}
 	if sp.directEmit {
-		return sp.exec.RunCached(&sp.cache, e, tuple, sp.target)
+		// A subscribed target cannot take the straight-into-view emission
+		// path: the rows are teed into the view's capture delta as they are
+		// emitted.
+		return sp.exec.RunCached(&sp.cache, e, tuple, teeAccum{v: sp.target, delta: cap})
 	}
 	if sp.scratch == nil {
 		sp.scratch = gmr.New(types.Schema(sp.target.Keys()))
@@ -320,16 +448,24 @@ func (e *Engine) executeStmt(sp *stmtPlan, tuple types.Tuple, args []string, env
 		return err
 	}
 	if sp.stmt.Kind == trigger.StmtReplace {
+		if cap != nil {
+			// A replacement's change is the difference: retract the old
+			// contents, then the new ones are added below.
+			cap.MergeInto(sp.target.Data(), -1)
+		}
 		sp.target.Clear()
 	}
 	sp.target.MergeDelta(sp.scratch)
+	if cap != nil {
+		cap.MergeInto(sp.scratch, 1)
+	}
 	return nil
 }
 
 // verifyStmt is the ExecVerify escape hatch: the statement's delta is
 // computed by both the compiled executor and the interpreter and the two must
 // agree before the (compiled) delta is applied.
-func (e *Engine) verifyStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env) error {
+func (e *Engine) verifyStmt(sp *stmtPlan, tuple types.Tuple, args []string, env *types.Env, cap *gmr.GMR) error {
 	schema := types.Schema(sp.target.Keys())
 	compiled := gmr.New(schema)
 	if err := sp.exec.RunCached(&sp.cache, e, tuple, compiled); err != nil {
@@ -362,14 +498,22 @@ func (e *Engine) verifyStmt(sp *stmtPlan, tuple types.Tuple, args []string, env 
 			compiled, interp)
 	}
 	if sp.stmt.Kind == trigger.StmtReplace {
+		if cap != nil {
+			cap.MergeInto(sp.target.Data(), -1)
+		}
 		sp.target.Clear()
 	}
 	sp.target.MergeDelta(compiled)
+	if cap != nil {
+		cap.MergeInto(compiled, 1)
+	}
 	return nil
 }
 
-// execute runs one maintenance statement under the trigger environment.
-func (e *Engine) execute(s *trigger.Statement, env types.Env) error {
+// execute runs one maintenance statement under the trigger environment. When
+// cap is non-nil the statement's net change to the target is additionally
+// accumulated into it (the subscription hub's capture delta).
+func (e *Engine) execute(s *trigger.Statement, env types.Env, cap *gmr.GMR) error {
 	res, err := agca.EvalChecked(s.RHS, e, env)
 	if err != nil {
 		return err
@@ -379,6 +523,9 @@ func (e *Engine) execute(s *trigger.Statement, env types.Env) error {
 		return fmt.Errorf("unknown target map %q", s.TargetMap)
 	}
 	if s.Kind == trigger.StmtReplace {
+		if cap != nil {
+			cap.MergeInto(target.Data(), -1)
+		}
 		target.Clear()
 	}
 
@@ -418,24 +565,64 @@ func (e *Engine) execute(s *trigger.Statement, env types.Env) error {
 			}
 		}
 		target.Add(key, m)
+		if cap != nil {
+			cap.Add(key, m)
+		}
 	})
 	return nil
 }
 
-// Result returns the (live) GMR of the query result view.
+// publishLocked flushes the captured per-view deltas to subscribers at the
+// end of a write-side mutation. Callers hold e.mu. Epoch invalidation itself
+// needs no work here — Acquire compares its snapshot's (events, adminGen)
+// pair against the engine's, so a publication with no subscribers costs the
+// write path nothing beyond the events counter it already maintains, and the
+// freeze of the new state is deferred to the next Acquire.
+func (e *Engine) publishLocked() {
+	if e.capturing {
+		e.flushSubscribersLocked(e.events.Load())
+	}
+}
+
+// Result returns the live GMR of the query result view. It belongs to the
+// write side: the returned store aliases the engine's mutable state, so it
+// must only be read from the goroutine driving Apply/ApplyBatch, between
+// calls. Concurrent readers use Acquire().Result() instead.
 func (e *Engine) Result() *gmr.GMR {
 	return e.Relation(e.prog.ResultMap)
 }
 
-// View returns the named materialized view (nil if unknown).
+// View returns the named materialized view (nil if unknown). Like Result,
+// the view is live write-side state.
 func (e *Engine) View(name string) *View { return e.views[name] }
 
-// Events returns the number of update events processed.
-func (e *Engine) Events() uint64 { return e.events }
+// countEvents bumps the live event counter: the atomic epoch clock in
+// serving mode, a plain increment on the unobserved single-threaded path.
+func (e *Engine) countEvents(n uint64) {
+	if e.serveActive.Load() {
+		e.events.Add(n)
+	} else {
+		e.eventsPlain += n
+	}
+}
 
-// MemoryBytes estimates the memory held by all materialized views, mirroring
-// the paper's per-query memory traces.
+// Events returns the number of update events processed. In serving mode it
+// is safe to call concurrently with the write side (serving readers use it
+// to measure staleness against a snapshot's Events).
+func (e *Engine) Events() uint64 {
+	if e.serveActive.Load() {
+		return e.events.Load()
+	}
+	return e.eventsPlain
+}
+
+// MemoryBytes estimates the memory held by all materialized views (primary
+// stores plus secondary-index postings), mirroring the paper's per-query
+// memory traces. It takes the writer lock, so it observes the views at an
+// event/batch boundary and is safe concurrently with the write side.
 func (e *Engine) MemoryBytes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	total := 0
 	for _, v := range e.views {
 		total += v.MemSize()
@@ -443,11 +630,18 @@ func (e *Engine) MemoryBytes() int {
 	return total
 }
 
-// ViewSizes returns the entry count of every materialized view.
+// ViewSizes returns the entry count of every materialized view. In serving
+// mode it reads the current epoch's snapshot and is safe concurrently with
+// the write side; before serving starts it reads the live views directly
+// (single-goroutine, like the rest of the write-side API) rather than
+// flipping the engine into serving mode as a side effect.
 func (e *Engine) ViewSizes() map[string]int {
-	out := make(map[string]int, len(e.views))
-	for name, v := range e.views {
-		out[name] = v.Data().Len()
+	if !e.serveActive.Load() {
+		out := make(map[string]int, len(e.views))
+		for name, v := range e.views {
+			out[name] = v.Data().Len()
+		}
+		return out
 	}
-	return out
+	return e.Acquire().ViewSizes()
 }

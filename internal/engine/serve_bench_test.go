@@ -1,0 +1,130 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/workload"
+)
+
+// warmEngine compiles the query in DBToaster mode and replays the stream at
+// the given scale, returning the engine and a rotating event window for
+// steady-state apply benchmarks.
+func warmEngine(b *testing.B, query string, scale float64) (*engine.Engine, []engine.Event) {
+	b.Helper()
+	spec, ok := workload.Get(query)
+	if !ok {
+		b.Fatalf("unknown query %s", query)
+	}
+	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(prog)
+	for name, data := range spec.Statics() {
+		eng.LoadStatic(name, data)
+	}
+	if err := eng.Init(); err != nil {
+		b.Fatal(err)
+	}
+	events := spec.Stream(scale, 1)
+	warm := len(events) / 2
+	for _, ev := range events[:warm] {
+		if err := eng.Apply(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, events[warm:]
+}
+
+// BenchmarkSnapshotAcquire pins the O(1) acquisition claim. Each iteration
+// applies one event (invalidating the epoch) and re-acquires, so the freeze
+// path runs every time. The acquire-ns/op metric times the Acquire call
+// alone: it must not grow with the store size (the two scales differ ~8x in
+// replayed events) because acquisition only builds per-view frozen headers.
+// The surrounding ns/op and B/op do grow — they include the write side's
+// deferred copy-on-write of the re-frozen views, the documented cost of
+// re-pinning an epoch after every single event (amortized away at batch
+// granularity; see BenchmarkApplySnapshotHeld for the held-snapshot cost).
+func BenchmarkSnapshotAcquire(b *testing.B) {
+	for _, scale := range []float64{0.1, 0.8} {
+		b.Run(fmt.Sprintf("Q3/scale=%.1f", scale), func(b *testing.B) {
+			eng, window := warmEngine(b, "Q3", scale)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var snap *engine.Snapshot
+			var acqNS int64
+			for i := 0; i < b.N; i++ {
+				if err := eng.Apply(window[i%len(window)]); err != nil {
+					b.Fatal(err)
+				}
+				t0 := time.Now()
+				snap = eng.Acquire()
+				acqNS += time.Since(t0).Nanoseconds()
+			}
+			b.ReportMetric(float64(acqNS)/float64(b.N), "acquire-ns/op")
+			runtime.KeepAlive(snap)
+		})
+	}
+	// The quiescent path: re-acquiring an unchanged epoch is a pointer load.
+	b.Run("Q3/cached", func(b *testing.B) {
+		eng, _ := warmEngine(b, "Q3", 0.1)
+		eng.Acquire()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var snap *engine.Snapshot
+		for i := 0; i < b.N; i++ {
+			snap = eng.Acquire()
+		}
+		runtime.KeepAlive(snap)
+	})
+}
+
+// BenchmarkApplySnapshotHeld measures the write path's cost with the serving
+// layer in its three states: no reader at all, one snapshot held for the
+// whole run (the acceptance scenario — copy-on-write is paid once per view),
+// and the adversarial re-acquire-per-event loop (every event pays a freeze
+// and the next write a slot/probe-table copy of the touched views).
+func BenchmarkApplySnapshotHeld(b *testing.B) {
+	for _, query := range []string{"Q1", "Q6", "VWAP"} {
+		b.Run(query+"/baseline", func(b *testing.B) {
+			eng, window := warmEngine(b, query, 0.2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Apply(window[i%len(window)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(query+"/held", func(b *testing.B) {
+			eng, window := warmEngine(b, query, 0.2)
+			snap := eng.Acquire()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Apply(window[i%len(window)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runtime.KeepAlive(snap)
+		})
+		b.Run(query+"/reacquire", func(b *testing.B) {
+			eng, window := warmEngine(b, query, 0.2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var snap *engine.Snapshot
+			for i := 0; i < b.N; i++ {
+				if err := eng.Apply(window[i%len(window)]); err != nil {
+					b.Fatal(err)
+				}
+				snap = eng.Acquire()
+			}
+			runtime.KeepAlive(snap)
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+// This file implements the engine's change-stream serving layer: consumers
+// subscribe to a materialized view and receive its changes pushed as
+// ChangeBatch values, instead of polling snapshots. The write side captures,
+// for every subscribed view, the net delta of each published epoch — on the
+// batched path straight from the per-view deltas the shard pipeline already
+// computes, on the sequential path by teeing statement emission — and flushes
+// it to subscribers at publication time.
+//
+// Backpressure policy: delivery never blocks the writer. Each subscription
+// has a bounded channel; when it is full the epoch's delta is not dropped but
+// coalesced — merged (GMR ring addition) into the subscription's pending
+// delta and delivered with the next publication that finds room, with
+// ChangeBatch.Coalesced counting the publications folded in. Coalescing is
+// lossless for state (per-key multiplicities sum) and lossy only for the
+// intermediate epochs a slow consumer would not have kept up with anyway.
+// Deltas that cancel out to zero are not delivered.
+
+// ChangeBatch is one push notification on a view subscription: the net
+// change of the subscribed view between two published epochs (or, for the
+// first batch of a subscription, the view's full contents — the catch-up
+// state).
+type ChangeBatch struct {
+	// View is the subscribed view's name.
+	View string
+	// Events identifies the publication this batch brings the subscriber up
+	// to: the engine's processed-event count at the epoch boundary. Batches
+	// on one subscription arrive with strictly increasing Events.
+	Events uint64
+	// Initial marks the catch-up batch: Entries is the view's state at
+	// subscription time, not a delta.
+	Initial bool
+	// Coalesced counts earlier publications merged into this batch because
+	// the subscriber's channel was full when they were flushed.
+	Coalesced int
+	// Entries is the delta (or initial state): tuples with the multiplicity
+	// change to add to the consumer's copy. Entries are immutable.
+	Entries []gmr.Entry
+}
+
+// SubscribeOptions configure a view subscription.
+type SubscribeOptions struct {
+	// Buffer is the subscription channel's capacity (minimum 1). The default
+	// 16 absorbs short consumer stalls before coalescing kicks in.
+	Buffer int
+	// SkipInitial suppresses the catch-up batch; the consumer then sees only
+	// deltas for epochs after the subscription.
+	SkipInitial bool
+}
+
+// Subscription is one consumer's handle on a view's change stream. Receive
+// from C; Cancel closes it. The zero epoch-ordering guarantee: batches arrive
+// in strictly increasing Epoch order, and after the catch-up batch, applying
+// every batch's Entries to the consumer's copy reproduces the view at each
+// delivered epoch.
+type Subscription struct {
+	// C delivers the change batches. It is closed by Cancel.
+	C <-chan ChangeBatch
+
+	e    *Engine
+	view string
+	ch   chan ChangeBatch
+	// pending accumulates deltas that could not be delivered (channel full);
+	// coalesced counts the publications folded into it. Both are guarded by
+	// the engine's writer lock.
+	pending   *gmr.GMR
+	coalesced int
+	done      bool
+}
+
+// Subscribe registers a consumer for the named view's change stream ("" means
+// the query result view). Unless opts.SkipInitial is set, the first batch on
+// the channel is the view's state at the subscription's epoch; every
+// subsequent batch is the net delta of one or more published epochs.
+// Subscribe after Init and LoadStatic — the catch-up batch reflects the state
+// at call time. Like the first Acquire, the first Subscribe switches the
+// engine into serving mode and must not race with a write (set the serving
+// topology up before concurrent maintenance begins); every later call is
+// safe from any goroutine, concurrently with the write side.
+func (e *Engine) Subscribe(view string, opts SubscribeOptions) (*Subscription, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enterServeLocked()
+	if view == "" {
+		view = e.prog.ResultMap
+	}
+	v, ok := e.views[view]
+	if !ok {
+		return nil, fmt.Errorf("engine: subscribe: unknown view %q", view)
+	}
+	buf := opts.Buffer
+	if buf < 1 {
+		buf = 16
+	}
+	sub := &Subscription{
+		e:       e,
+		view:    view,
+		ch:      make(chan ChangeBatch, buf),
+		pending: gmr.New(types.Schema(v.Keys())),
+	}
+	sub.C = sub.ch
+	if !opts.SkipInitial {
+		// The catch-up batch is built under the writer lock, so it is exactly
+		// the state of the subscription's epoch: deltas of later epochs
+		// compose onto it gap-free.
+		sub.ch <- ChangeBatch{
+			View:    view,
+			Events:  e.events.Load(),
+			Initial: true,
+			Entries: v.Freeze().Entries(),
+		}
+	}
+	if e.subs == nil {
+		e.subs = map[string][]*Subscription{}
+		e.capture = map[string]*gmr.GMR{}
+	}
+	e.subs[view] = append(e.subs[view], sub)
+	if e.capture[view] == nil {
+		e.capture[view] = gmr.New(types.Schema(v.Keys()))
+	}
+	e.capturing = true
+	return sub, nil
+}
+
+// Cancel removes the subscription and closes its channel. A pending
+// coalesced delta (a publication that found the channel full and was never
+// retried because the writer went idle) is flushed into the channel first if
+// there is room — a consumer that drains before cancelling therefore always
+// converges to the final state; if the channel is still full, the pending
+// delta is discarded. Safe to call at any time, once.
+func (s *Subscription) Cancel() {
+	e := s.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	if !s.pending.IsEmpty() {
+		s.push(nil, e.events.Load())
+	}
+	list := e.subs[s.view]
+	for i, sub := range list {
+		if sub == s {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(e.subs, s.view)
+		delete(e.capture, s.view)
+		e.capturing = len(e.capture) != 0
+	} else {
+		e.subs[s.view] = list
+	}
+	close(s.ch)
+}
+
+// Subscribers reports the number of active subscriptions per view.
+func (e *Engine) Subscribers() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int, len(e.subs))
+	for view, list := range e.subs {
+		out[view] = len(list)
+	}
+	return out
+}
+
+// flushSubscribersLocked delivers the epoch's captured per-view deltas.
+// Callers hold e.mu (it runs inside publishLocked, on the writer).
+func (e *Engine) flushSubscribersLocked(events uint64) {
+	for view, delta := range e.capture {
+		if delta.IsEmpty() {
+			continue
+		}
+		for _, sub := range e.subs[view] {
+			sub.push(delta, events)
+		}
+		delta.Reset()
+	}
+}
+
+// push merges the epoch's delta into the subscription's pending delta and
+// tries to deliver it without blocking; a full channel leaves it coalesced
+// for the next publication.
+func (s *Subscription) push(delta *gmr.GMR, events uint64) {
+	s.pending.MergeInto(delta, 1)
+	if s.pending.IsEmpty() {
+		// The backlog cancelled out to zero — nothing to deliver.
+		s.coalesced = 0
+		return
+	}
+	if len(s.ch) == cap(s.ch) {
+		// Channel full: coalesce without building (and throwing away) the
+		// sorted entries of the whole backlog. The writer is the only
+		// sender and holds e.mu, so a stale read here at worst coalesces
+		// one extra epoch.
+		s.coalesced++
+		return
+	}
+	select {
+	case s.ch <- ChangeBatch{
+		View:      s.view,
+		Events:    events,
+		Coalesced: s.coalesced,
+		Entries:   s.pending.Entries(),
+	}:
+		// Entries shares the (immutable) tuples; Reset recycles only the
+		// pending store's own structures, so the delivered batch stays valid.
+		s.pending.Reset()
+		s.coalesced = 0
+	default:
+		s.coalesced++
+	}
+}
+
+// teeAccum routes a compiled statement's direct-into-view emission through
+// the view's capture delta as well, so subscribed views keep the fast path's
+// shape (one pass, no scratch materialization) while the hub still sees every
+// change.
+type teeAccum struct {
+	v     *View
+	delta *gmr.GMR
+}
+
+func (t teeAccum) AddEncoded(key []byte, tup types.Tuple, m float64) float64 {
+	t.delta.AddEncoded(key, tup, m)
+	return t.v.AddEncoded(key, tup, m)
+}

@@ -33,6 +33,11 @@ type View struct {
 	// keyBuf is the scratch key-encoding buffer of the mutating entry points
 	// (mutations are single-goroutine by contract).
 	keyBuf []byte
+	// frozen caches the primary store's frozen header between mutations, so
+	// acquiring the same epoch twice hands out the same snapshot and freezes
+	// a quiescent view for free. Mutations invalidate it; only Freeze (called
+	// under the engine's writer lock) sets it.
+	frozen *gmr.GMR
 }
 
 // secondaryIndex maps the encoded values of a column subset to a posting of
@@ -83,11 +88,26 @@ func (v *View) Keys() []string { return v.keys }
 // Data returns the underlying GMR (live, not a copy).
 func (v *View) Data() *gmr.GMR { return v.data }
 
+// Freeze returns the view's primary store frozen at its current contents
+// (see gmr.Freeze): an O(1) sealed header whose reads are safe concurrently
+// with further writes to the view. Consecutive freezes with no intervening
+// mutation return the same header. Callers must hold the engine's writer
+// lock (Engine.Acquire does).
+func (v *View) Freeze() *gmr.GMR {
+	if v.frozen == nil {
+		v.frozen = v.data.Freeze()
+	}
+	return v.frozen
+}
+
 // Add increments the multiplicity of the given key tuple, keeping secondary
 // indexes in sync.
 func (v *View) Add(key types.Tuple, mult float64) {
 	if mult == 0 {
 		return
+	}
+	if v.frozen != nil {
+		v.frozen = nil
 	}
 	v.keyBuf = key.AppendKey(v.keyBuf[:0])
 	id, newMult, inserted := v.data.UpsertEncoded(v.keyBuf, key, mult)
@@ -105,6 +125,9 @@ func (v *View) AddEncoded(key []byte, t types.Tuple, mult float64) float64 {
 	if mult == 0 {
 		return 0
 	}
+	if v.frozen != nil {
+		v.frozen = nil
+	}
 	id, newMult, inserted := v.data.UpsertEncoded(key, t, mult)
 	if len(v.indexes) != 0 {
 		v.updateIndexes(id, t, newMult, inserted)
@@ -119,6 +142,12 @@ func (v *View) AddEncoded(key []byte, t types.Tuple, mult float64) float64 {
 // what makes applying a batch-accumulated delta cheaper than the equivalent
 // sequence of Adds.
 func (v *View) MergeDelta(delta *gmr.GMR) {
+	if delta.IsEmpty() {
+		return
+	}
+	if v.frozen != nil {
+		v.frozen = nil
+	}
 	delta.ForeachKeyed(func(key []byte, t types.Tuple, m float64) {
 		id, newMult, inserted := v.data.UpsertEncodedShared(key, t, m)
 		if len(v.indexes) != 0 {
@@ -186,8 +215,10 @@ func (v *View) AddProjected(schema types.Schema, t types.Tuple, mult float64, ke
 	v.Add(key, mult)
 }
 
-// Clear removes all contents and indexes.
+// Clear removes all contents and indexes. Outstanding snapshots keep the old
+// store (a fresh one is installed).
 func (v *View) Clear() {
+	v.frozen = nil
 	v.data = gmr.New(types.Schema(v.keys))
 	v.indexes = map[uint64]*secondaryIndex{}
 }

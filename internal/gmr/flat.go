@@ -216,6 +216,7 @@ func (g *GMR) compactArena() {
 // multiplicity (0 after removal) and whether a new slot was created. m must
 // be non-zero.
 func (g *GMR) upsertHashed(h uint64, key []byte, t types.Tuple, m float64, cloneTuple bool) (id int32, newMult float64, inserted bool) {
+	g.ensureMutable()
 	pos, id, ok := g.find(h, key)
 	if !ok {
 		return g.insertAt(pos, h, key, t, m, cloneTuple), m, true

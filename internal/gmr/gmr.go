@@ -63,6 +63,12 @@ type GMR struct {
 	// keyBuf is the scratch encoding buffer of the tuple-taking mutating
 	// entry points (Add, Set); mutations are single-goroutine by contract.
 	keyBuf []byte
+	// flags holds the freeze state (see snapshot.go): flagCOW marks the GMR
+	// frozen since its last mutation (Freeze was called), so the next
+	// mutation copies slots and probe table first and outstanding snapshots
+	// stay immutable; flagSealed marks a snapshot itself — mutations panic.
+	// One byte keeps the never-frozen mutation gate a single load-and-test.
+	flags uint8
 }
 
 // New returns an empty GMR with the given schema.
@@ -127,6 +133,7 @@ func (g *GMR) Add(t types.Tuple, m float64) float64 {
 
 // Set assigns the multiplicity of tuple t to m (removing it when m is zero).
 func (g *GMR) Set(t types.Tuple, m float64) {
+	g.ensureMutable()
 	g.checkArity(t)
 	g.keyBuf = t.AppendKey(g.keyBuf[:0])
 	h := hashKey(g.keyBuf)
@@ -285,16 +292,30 @@ func (g *GMR) Clone() *GMR {
 	return out
 }
 
-// Clear removes all entries and releases the table's memory.
+// Clear removes all entries and releases the table's memory. Outstanding
+// snapshots keep the old contents (Clear installs fresh empty structures).
 func (g *GMR) Clear() {
+	if g.flags&flagSealed != 0 {
+		panic("gmr: mutation of a frozen snapshot")
+	}
 	*g = GMR{schema: g.schema}
 }
 
 // Reset removes all entries but keeps the allocated arena, slot slice and
 // probe table, so a scratch GMR reused across events stops allocating once
 // it has grown to working-set size. Slot ids from before the Reset are
-// invalidated.
+// invalidated. When the GMR is frozen (a snapshot shares its structures),
+// Reset drops them instead of truncating in place, like Clear.
 func (g *GMR) Reset() {
+	if g.flags&flagSealed != 0 {
+		panic("gmr: mutation of a frozen snapshot")
+	}
+	if g.flags&flagCOW != 0 {
+		g.flags &^= flagCOW
+		g.arena, g.slots, g.index, g.free = nil, nil, nil, nil
+		g.live, g.deadKey = 0, 0
+		return
+	}
 	g.arena = g.arena[:0]
 	g.slots = g.slots[:0]
 	g.free = g.free[:0]

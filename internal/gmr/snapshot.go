@@ -1,0 +1,77 @@
+package gmr
+
+// This file implements the freeze mechanism behind the engine's snapshot-
+// isolated read path: Freeze returns a sealed, read-only GMR that shares the
+// receiver's current arena, slot slice and probe table, and arms the receiver
+// for copy-on-write — the first mutation after a freeze copies the slot and
+// probe slices before writing, so every outstanding snapshot stays immutable
+// for as long as a reader holds it.
+//
+// Why the arena is never copied: writers only ever (a) append key bytes past
+// the length every snapshot captured, which touches addresses no snapshot
+// reads, or (b) swap in a freshly allocated arena (compaction), which leaves
+// the snapshots' slice headers pointing at the old bytes. Appends within one
+// backing array are monotonic across freezes, so the shared prefix is
+// write-once. Slot records and probe cells, by contrast, are updated in
+// place (multiplicity adds, backward-shift deletion), which is why those two
+// slices are the copy-on-write unit.
+//
+// Cost model: Freeze itself is O(1) — three slice headers and a few scalars,
+// no per-entry work. The deferred copy is O(entries) and is paid at most once
+// per freeze, by the writer, on its first subsequent mutation; a reader never
+// pays anything and never blocks.
+
+const (
+	// flagCOW: frozen since the last mutation — copy slots/index before the
+	// next write.
+	flagCOW uint8 = 1 << iota
+	// flagSealed: this GMR is a snapshot — writes panic.
+	flagSealed
+)
+
+// Freeze returns a read-only snapshot of the GMR's current contents and
+// marks the receiver copy-on-write. The snapshot's reads (Get, Lookup*,
+// Foreach*, Entries, SlotEntry, MemSize, ...) are safe for concurrent use
+// with further mutations of the receiver; mutating the snapshot itself
+// panics. Freezing a snapshot returns the snapshot unchanged.
+func (g *GMR) Freeze() *GMR {
+	if g.flags&flagSealed != 0 {
+		return g
+	}
+	g.flags |= flagCOW
+	return &GMR{
+		schema:  g.schema,
+		arena:   g.arena,
+		slots:   g.slots,
+		index:   g.index,
+		live:    g.live,
+		deadKey: g.deadKey,
+		flags:   flagSealed,
+	}
+}
+
+// Sealed reports whether the GMR is a frozen snapshot (mutations panic).
+func (g *GMR) Sealed() bool { return g.flags&flagSealed != 0 }
+
+// ensureMutable is the copy-on-write gate every mutating entry point passes
+// through: a sealed snapshot refuses the mutation, and a GMR frozen since its
+// last mutation first copies the slot records and the probe table (the two
+// structures snapshot readers scan in place). The never-frozen hot path is a
+// single load-and-test (the function inlines); the copy is outlined.
+func (g *GMR) ensureMutable() {
+	if g.flags != 0 {
+		g.cowCopy()
+	}
+}
+
+// cowCopy performs the deferred copy-on-write (or rejects a snapshot
+// mutation). Slot ids are preserved by the copy, so secondary-index postings
+// built against the live store stay valid.
+func (g *GMR) cowCopy() {
+	if g.flags&flagSealed != 0 {
+		panic("gmr: mutation of a frozen snapshot")
+	}
+	g.flags &^= flagCOW
+	g.slots = append([]slot(nil), g.slots...)
+	g.index = append([]uint64(nil), g.index...)
+}

@@ -1,0 +1,203 @@
+package gmr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+// entriesMap flattens a GMR into a map keyed by the tuple's string form, for
+// order-independent comparison against a reference.
+func entriesMap(g *GMR) map[string]float64 {
+	out := map[string]float64{}
+	g.Foreach(func(t types.Tuple, m float64) {
+		out[fmt.Sprint(t)] = m
+	})
+	return out
+}
+
+func mapsEqual(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFreezeImmutable drives a randomized mutation stream and freezes the
+// store at random points; every snapshot must keep reporting exactly the
+// contents it captured while the live store keeps churning through inserts,
+// deletions, growth, arena compaction and Reset.
+func TestFreezeImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New(types.Schema{"a", "b"})
+
+	type snap struct {
+		frozen *GMR
+		want   map[string]float64
+	}
+	var snaps []snap
+
+	for step := 0; step < 4000; step++ {
+		k := types.Tuple{types.Int(int64(rng.Intn(200))), types.Int(int64(rng.Intn(5)))}
+		switch {
+		case rng.Intn(10) == 0 && g.Len() > 0:
+			// Exact deletion of an existing entry to exercise backward-shift
+			// deletion and arena compaction while frozen.
+			e := g.Entries()[rng.Intn(g.Len())]
+			g.Add(e.Tuple, -e.Mult)
+		default:
+			g.Add(k, float64(rng.Intn(7)-3))
+		}
+		if step%500 == 250 {
+			f := g.Freeze()
+			snaps = append(snaps, snap{frozen: f, want: entriesMap(g)})
+		}
+	}
+	// One Reset at the end: snapshots must survive the slices being recycled.
+	f := g.Freeze()
+	snaps = append(snaps, snap{frozen: f, want: entriesMap(g)})
+	g.Reset()
+	g.Add(types.Tuple{types.Int(1), types.Int(1)}, 42)
+
+	for i, s := range snaps {
+		if got := entriesMap(s.frozen); !mapsEqual(got, s.want) {
+			t.Fatalf("snapshot %d drifted:\n got  %v\n want %v", i, got, s.want)
+		}
+		if s.frozen.Len() != len(s.want) {
+			t.Fatalf("snapshot %d Len = %d, want %d", i, s.frozen.Len(), len(s.want))
+		}
+		// Point lookups through the probe table must agree with iteration.
+		s.frozen.Foreach(func(tp types.Tuple, m float64) {
+			if got := s.frozen.Get(tp); got != m {
+				t.Fatalf("snapshot %d Get(%v) = %v, want %v", i, tp, got, m)
+			}
+		})
+	}
+}
+
+// TestFreezeSnapshotSealed pins the mutation guard: every mutating entry
+// point on a snapshot must panic, and Freeze of a snapshot is the snapshot.
+func TestFreezeSnapshotSealed(t *testing.T) {
+	g := New(types.Schema{"x"})
+	g.Add(types.Tuple{types.Int(1)}, 2)
+	f := g.Freeze()
+	if !f.Sealed() || g.Sealed() {
+		t.Fatalf("Sealed: snapshot %v, live %v", f.Sealed(), g.Sealed())
+	}
+	if f.Freeze() != f {
+		t.Fatalf("Freeze of a snapshot should return the snapshot")
+	}
+	for name, mut := range map[string]func(){
+		"Add":   func() { f.Add(types.Tuple{types.Int(2)}, 1) },
+		"Set":   func() { f.Set(types.Tuple{types.Int(2)}, 1) },
+		"Clear": func() { f.Clear() },
+		"Reset": func() { f.Reset() },
+		"Merge": func() { f.MergeInto(g, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on a snapshot did not panic", name)
+				}
+			}()
+			mut()
+		}()
+	}
+	// The live side must still be freely mutable (copy-on-write, not an
+	// error), and a clone of a frozen store must be independently mutable.
+	g.Add(types.Tuple{types.Int(1)}, 3)
+	if got := f.Get(types.Tuple{types.Int(1)}); got != 2 {
+		t.Fatalf("snapshot saw post-freeze write: %v", got)
+	}
+	c := f.Clone()
+	c.Add(types.Tuple{types.Int(9)}, 1)
+	if f.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone of snapshot not independent: f=%d c=%d", f.Len(), c.Len())
+	}
+}
+
+// TestFreezeConcurrentReaders is the race-detector workout: one writer churns
+// the store and periodically freezes it while reader goroutines scan whatever
+// snapshot is newest. Run with -race (the CI race step does).
+func TestFreezeConcurrentReaders(t *testing.T) {
+	g := New(types.Schema{"a"})
+	var mu sync.Mutex // hands frozen snapshots from writer to readers
+	latest := g.Freeze()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.Lock()
+				f := latest
+				mu.Unlock()
+				sum := 0.0
+				f.Foreach(func(tp types.Tuple, m float64) { sum += m })
+				f.Get(types.Tuple{types.Int(7)})
+				_ = f.Entries()
+				_ = f.MemSize()
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		g.Add(types.Tuple{types.Int(int64(rng.Intn(300)))}, float64(rng.Intn(5)-2))
+		if i%97 == 0 {
+			f := g.Freeze()
+			mu.Lock()
+			latest = f
+			mu.Unlock()
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkFreeze pins the O(1) claim: freezing must not depend on store
+// size. Each iteration freezes and then performs one write (paying the
+// copy-on-write once), which is the engine's per-epoch worst case.
+func BenchmarkFreeze(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("acquire/n=%d", n), func(b *testing.B) {
+			g := New(types.Schema{"a"})
+			for i := 0; i < n; i++ {
+				g.Add(types.Tuple{types.Int(int64(i))}, 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.Freeze()
+			}
+		})
+		b.Run(fmt.Sprintf("freeze+write/n=%d", n), func(b *testing.B) {
+			g := New(types.Schema{"a"})
+			for i := 0; i < n; i++ {
+				g.Add(types.Tuple{types.Int(int64(i))}, 1)
+			}
+			tup := types.Tuple{types.Int(0)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.Freeze()
+				g.Add(tup, 1)
+			}
+		})
+	}
+}

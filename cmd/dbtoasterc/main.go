@@ -1,23 +1,38 @@
-// Command dbtoasterc is the compiler front end: it compiles a workload query
-// (by name) under a chosen strategy and prints the resulting trigger program
-// — the materialized view definitions and the per-event update statements —
-// in the notation of the paper's Figures 3 and 4.
+// Command dbtoasterc is the compiler front end. It compiles queries — either
+// SQL files (-sql, the paper's input language) or registered workload queries
+// (by name) — under a chosen strategy and prints the resulting trigger
+// program: the materialized view definitions and the per-event update
+// statements, in the notation of the paper's Figures 3 and 4.
+//
+// Usage:
+//
+//	dbtoasterc [-mode dbtoaster|ivm|rep|naive] -sql file.sql [file2.sql ...]
+//	dbtoasterc [-mode ...] <query-name> [query-name ...]
+//	dbtoasterc -list
+//
+// A -sql argument of "-" reads the script from standard input. Each SQL file
+// is a self-contained script: CREATE STREAM/TABLE declarations followed by
+// one or more SELECT queries (see docs/sql.md for the grammar).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dbtoaster/internal/agca"
 	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/sql"
 	"dbtoaster/internal/workload"
 )
 
 func main() {
 	mode := flag.String("mode", "dbtoaster", "compilation strategy: dbtoaster, ivm, rep, naive")
+	useSQL := flag.Bool("sql", false, "arguments are SQL files to compile ('-' reads stdin)")
 	list := flag.Bool("list", false, "list the available workload queries and exit")
 	flag.Parse()
 
@@ -28,7 +43,8 @@ func main() {
 		return
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbtoasterc [-mode dbtoaster|ivm|rep|naive] <query-name>")
+		fmt.Fprintln(os.Stderr, "usage: dbtoasterc [-mode dbtoaster|ivm|rep|naive] -sql <file.sql|-> ...")
+		fmt.Fprintln(os.Stderr, "       dbtoasterc [-mode dbtoaster|ivm|rep|naive] <query-name> ...")
 		fmt.Fprintln(os.Stderr, "       dbtoasterc -list")
 		os.Exit(2)
 	}
@@ -45,10 +61,19 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+
+	if *useSQL {
+		for _, path := range flag.Args() {
+			if err := compileSQLFile(path, m); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		return
+	}
 	for _, name := range flag.Args() {
 		spec, ok := workload.Get(name)
 		if !ok {
-			log.Fatalf("unknown query %q (use -list)", name)
+			log.Fatalf("unknown query %q (use -list, or -sql for SQL files)", name)
 		}
 		fmt.Printf("-- query %s (AGCA): %s\n", name, agca.String(spec.Query.Expr))
 		prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(m))
@@ -57,4 +82,46 @@ func main() {
 		}
 		fmt.Println(prog.String())
 	}
+}
+
+// compileSQLFile parses one SQL script and prints the trigger program of
+// every SELECT it contains.
+func compileSQLFile(path string, m compiler.Mode) error {
+	var src []byte
+	var base string
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		base = "stdin"
+	} else {
+		src, err = os.ReadFile(path)
+		base = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	if err != nil {
+		return err
+	}
+	script, err := sql.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	cat, err := script.Catalog()
+	if err != nil {
+		return err
+	}
+	queries, err := script.Queries(base)
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no SELECT statement found")
+	}
+	for _, q := range queries {
+		fmt.Printf("-- query %s (AGCA): %s\n", q.Name, agca.String(q.Expr))
+		prog, err := compiler.Compile(compiler.Query{Name: q.Name, Expr: q.Expr}, cat, compiler.OptionsFor(m))
+		if err != nil {
+			return err
+		}
+		fmt.Println(prog.String())
+	}
+	return nil
 }

@@ -1,0 +1,15 @@
+-- An ad-hoc query over a schema that appears in no registered workload:
+-- revenue per country from purchases of engaged users (more than two
+-- clicks). Compile it with
+--
+--	go run ./cmd/dbtoasterc -sql examples/sql/adhoc.sql
+--
+CREATE STREAM CLICKS (UID int, URL string, TS int);
+CREATE STREAM PURCHASES (UID int, AMOUNT float, TS int);
+CREATE TABLE USERS (UID int, COUNTRY string);
+
+SELECT u.COUNTRY, SUM(p.AMOUNT)
+FROM PURCHASES p, USERS u
+WHERE p.UID = u.UID
+  AND (SELECT COUNT(*) FROM CLICKS c WHERE c.UID = p.UID) > 2
+GROUP BY u.COUNTRY;

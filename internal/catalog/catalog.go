@@ -1,7 +1,9 @@
 // Package catalog describes the schemas of the base relations a query is
 // compiled against: column names, and whether a relation is static (loaded
 // once and never updated by the stream, like TPC-H's Nation and Region in the
-// paper's experiments).
+// paper's experiments). Catalogs are built either programmatically (Add,
+// AddStatic) or from SQL DDL — CREATE STREAM for dynamic and CREATE TABLE
+// for static relations — via (*sql.Script).Catalog.
 package catalog
 
 import (

@@ -13,6 +13,10 @@
 //     relations on every update.
 //   - ModeNaive — the naive viewlet transform: deltas are materialized
 //     aggressively as single maps, without join-graph decomposition.
+//
+// Queries arrive as AGCA expressions — written directly against package
+// agca, or translated from SQL text by package sql (the paper's input
+// language; see docs/sql.md).
 package compiler
 
 import (

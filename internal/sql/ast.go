@@ -1,0 +1,178 @@
+package sql
+
+// Pos is a 1-based source position used in error messages.
+type Pos struct {
+	Line, Col int
+}
+
+// Script is a parsed SQL source: CREATE STREAM/TABLE declarations followed by
+// any number of SELECT queries, in source order.
+type Script struct {
+	Relations []RelDef
+	Selects   []*SelectStmt
+}
+
+// RelDef is one CREATE STREAM (dynamic, updated by the event stream) or
+// CREATE TABLE (static, loaded once) declaration.
+type RelDef struct {
+	Name    string
+	Columns []ColDef
+	Static  bool
+	Pos     Pos
+}
+
+// ColDef is one column declaration. The type is recorded as written; the
+// runtime's values are dynamically typed, so the declared type is validated
+// against the supported names but not otherwise enforced.
+type ColDef struct {
+	Name string
+	Type string
+}
+
+// SelectStmt is one SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Star    bool // SELECT * (only meaningful inside EXISTS)
+	From    []FromItem
+	Where   Expr // nil when absent
+	GroupBy []ColRef
+	Pos     Pos
+}
+
+// SelectItem is one expression of the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS name
+}
+
+// FromItem is one base-relation reference of the FROM clause.
+type FromItem struct {
+	Rel   string
+	Alias string // defaults to Rel
+	Pos   Pos
+}
+
+// Expr is a parsed SQL expression. Boolean operators are ordinary expression
+// nodes: AGCA conditions are 0/1-valued scalars, so predicates and scalar
+// expressions share one tree and the translator distinguishes them by
+// context.
+type Expr interface {
+	pos() Pos
+}
+
+// ColRef is a (possibly qualified) column reference.
+type ColRef struct {
+	Qual string // table alias, "" when unqualified
+	Name string
+	Pos  Pos
+}
+
+// NumLit is an integer or decimal literal.
+type NumLit struct {
+	Text    string
+	IsFloat bool
+	Pos     Pos
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+	Pos Pos
+}
+
+// BinOp is an arithmetic operation: + - * /.
+type BinOp struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// NegOp is unary minus.
+type NegOp struct {
+	E   Expr
+	Pos Pos
+}
+
+// CmpOp is a comparison: = <> < <= > >=.
+type CmpOp struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// AndOp is conjunction.
+type AndOp struct {
+	L, R Expr
+	Pos  Pos
+}
+
+// OrOp is disjunction.
+type OrOp struct {
+	L, R Expr
+	Pos  Pos
+}
+
+// NotOp is negation of a predicate.
+type NotOp struct {
+	E   Expr
+	Pos Pos
+}
+
+// ExistsOp is EXISTS (SELECT ...).
+type ExistsOp struct {
+	Sel *SelectStmt
+	Pos Pos
+}
+
+// InList is x [NOT] IN (lit, lit, ...).
+type InList struct {
+	E     Expr
+	Elems []Expr
+	Not   bool
+	Pos   Pos
+}
+
+// LikeOp is x [NOT] LIKE pattern.
+type LikeOp struct {
+	E, Pattern Expr
+	Not        bool
+	Pos        Pos
+}
+
+// Between is x BETWEEN lo AND hi (inclusive).
+type Between struct {
+	E, Lo, Hi Expr
+	Pos       Pos
+}
+
+// FuncCall is an aggregate (SUM/COUNT/AVG, recognized by the translator at
+// the SELECT-list level) or interpreted scalar function call. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+	Pos  Pos
+}
+
+// Subquery is a parenthesized scalar subquery (SELECT ...).
+type Subquery struct {
+	Sel *SelectStmt
+	Pos Pos
+}
+
+func (e ColRef) pos() Pos   { return e.Pos }
+func (e NumLit) pos() Pos   { return e.Pos }
+func (e StrLit) pos() Pos   { return e.Pos }
+func (e BinOp) pos() Pos    { return e.Pos }
+func (e NegOp) pos() Pos    { return e.Pos }
+func (e CmpOp) pos() Pos    { return e.Pos }
+func (e AndOp) pos() Pos    { return e.Pos }
+func (e OrOp) pos() Pos     { return e.Pos }
+func (e NotOp) pos() Pos    { return e.Pos }
+func (e ExistsOp) pos() Pos { return e.Pos }
+func (e InList) pos() Pos   { return e.Pos }
+func (e LikeOp) pos() Pos   { return e.Pos }
+func (e Between) pos() Pos  { return e.Pos }
+func (e FuncCall) pos() Pos { return e.Pos }
+func (e Subquery) pos() Pos { return e.Pos }

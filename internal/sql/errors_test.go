@@ -1,0 +1,57 @@
+package sql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/parse_errors.golden")
+
+// TestParseErrorGolden pins the parser's error messages for malformed input:
+// each case in testdata/parse_errors.sql must fail, and the positioned
+// message must match the checked-in golden line. Run with -update-golden
+// after an intentional message change.
+func TestParseErrorGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/parse_errors.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type errCase struct{ name, src string }
+	var cases []errCase
+	for _, block := range strings.Split(string(raw), "== ")[1:] {
+		name, src, _ := strings.Cut(block, "\n")
+		cases = append(cases, errCase{name: strings.TrimSpace(name), src: src})
+	}
+	if len(cases) == 0 {
+		t.Fatal("no cases in testdata/parse_errors.sql")
+	}
+
+	var got strings.Builder
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse unexpectedly succeeded", c.name)
+			fmt.Fprintf(&got, "%s: (no error)\n", c.name)
+			continue
+		}
+		fmt.Fprintf(&got, "%s: %v\n", c.name, err)
+	}
+
+	const goldenPath = "testdata/parse_errors.golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("error messages differ from golden:\n got:\n%s\n want:\n%s", got.String(), want)
+	}
+}

@@ -1,0 +1,173 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates the lexical token classes.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical token with its source position (1-based line/column).
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, symbols canonical, others verbatim
+	line int
+	col  int
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords are the reserved words of the grammar. Everything else —
+// including aggregate and scalar function names — is an ordinary identifier
+// resolved by the parser/translator, so new functions need no lexer change.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "EXISTS": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "CREATE": true,
+	"STREAM": true, "TABLE": true, "JOIN": true, "INNER": true, "ON": true,
+}
+
+// lexError is a positioned scan error.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex scans src into tokens. SQL comments (-- to end of line) are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isIdentStart(c):
+			start, l0, c0 := i, line, col
+			for i < n && isIdentPart(src[i]) {
+				advance(1)
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, line: l0, col: c0})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, line: l0, col: c0})
+			}
+		case c >= '0' && c <= '9':
+			start, l0, c0 := i, line, col
+			seenDot := false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					advance(1)
+					continue
+				}
+				if d == '.' && !seenDot && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+					seenDot = true
+					advance(1)
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: l0, col: c0})
+		case c == '\'':
+			l0, c0 := line, col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // '' escapes a quote
+						b.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &lexError{l0, c0, "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), line: l0, col: c0})
+		default:
+			l0, c0 := line, col
+			// Two-character operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					if two == "!=" {
+						two = "<>"
+					}
+					advance(2)
+					toks = append(toks, token{kind: tokSymbol, text: two, line: l0, col: c0})
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', '.', '*', '+', '-', '/', '<', '>', '=':
+				advance(1)
+				toks = append(toks, token{kind: tokSymbol, text: string(c), line: l0, col: c0})
+			default:
+				return nil, &lexError{l0, c0, fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

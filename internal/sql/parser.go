@@ -1,0 +1,596 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError is a positioned syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Parse parses a SQL source — CREATE STREAM/TABLE declarations and SELECT
+// queries separated by semicolons — into a Script.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	script := &Script{}
+	for {
+		for p.acceptSymbol(";") {
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		switch {
+		case p.peekKeyword("CREATE"):
+			rd, err := p.parseCreate()
+			if err != nil {
+				return nil, err
+			}
+			script.Relations = append(script.Relations, rd)
+		case p.peekKeyword("SELECT"):
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			script.Selects = append(script.Selects, sel)
+		default:
+			return nil, p.errorf("expected CREATE or SELECT, found %s", p.peek().describe())
+		}
+		if p.peek().kind != tokEOF && !p.peekSymbol(";") {
+			return nil, p.errorf("expected ';' after statement, found %s", p.peek().describe())
+		}
+	}
+	return script, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at() Pos     { t := p.peek(); return Pos{t.line, t.col} }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.at(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek().describe())
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(s string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peekSymbol(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %s", s, p.peek().describe())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, p.errorf("expected identifier, found %s", t.describe())
+	}
+	p.i++
+	return t, nil
+}
+
+// columnTypes lists the accepted column type names (lower-cased).
+var columnTypes = map[string]bool{
+	"int": true, "integer": true, "bigint": true,
+	"float": true, "double": true, "decimal": true,
+	"string": true, "varchar": true, "char": true, "text": true,
+	"date": true, "bool": true, "boolean": true,
+}
+
+// parseCreate parses CREATE STREAM|TABLE name (col type, ...).
+func (p *parser) parseCreate() (RelDef, error) {
+	pos := p.at()
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return RelDef{}, err
+	}
+	var static bool
+	switch {
+	case p.acceptKeyword("STREAM"):
+		static = false
+	case p.acceptKeyword("TABLE"):
+		static = true
+	default:
+		return RelDef{}, p.errorf("expected STREAM or TABLE after CREATE, found %s", p.peek().describe())
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return RelDef{}, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return RelDef{}, err
+	}
+	rd := RelDef{Name: name.text, Static: static, Pos: pos}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return RelDef{}, err
+		}
+		typ, err := p.expectIdent()
+		if err != nil {
+			return RelDef{}, err
+		}
+		if !columnTypes[strings.ToLower(typ.text)] {
+			return RelDef{}, &ParseError{Pos: Pos{typ.line, typ.col},
+				Msg: fmt.Sprintf("unknown column type %q", typ.text)}
+		}
+		// Optional length, e.g. VARCHAR(20).
+		if p.acceptSymbol("(") {
+			if t := p.peek(); t.kind != tokNumber {
+				return RelDef{}, p.errorf("expected length after %q(, found %s", typ.text, t.describe())
+			}
+			p.next()
+			if err := p.expectSymbol(")"); err != nil {
+				return RelDef{}, err
+			}
+		}
+		rd.Columns = append(rd.Columns, ColDef{Name: col.text, Type: strings.ToLower(typ.text)})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return RelDef{}, err
+	}
+	return rd, nil
+}
+
+// parseSelect parses SELECT items FROM from [WHERE cond] [GROUP BY cols].
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	pos := p.at()
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Pos: pos}
+	if p.acceptSymbol("*") {
+		sel.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var onConds []Expr
+	item, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = append(sel.From, item)
+	for {
+		if p.acceptSymbol(",") {
+			item, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, item)
+			continue
+		}
+		// [INNER] JOIN item ON cond desugars to a comma join plus a WHERE
+		// conjunct.
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, item)
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		onConds = append(onConds, cond)
+	}
+	if p.acceptKeyword("WHERE") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		onConds = append(onConds, cond)
+	}
+	for _, c := range onConds {
+		if sel.Where == nil {
+			sel.Where = c
+		} else {
+			sel.Where = AndOp{L: sel.Where, R: c, Pos: c.pos()}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			cr, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, cr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseOr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	pos := p.at()
+	rel, err := p.expectIdent()
+	if err != nil {
+		return FromItem{}, err
+	}
+	item := FromItem{Rel: rel.text, Alias: rel.text, Pos: pos}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Alias = a.text
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	pos := p.at()
+	id, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	cr := ColRef{Name: id.text, Pos: pos}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		cr.Qual, cr.Name = id.text, col.text
+	}
+	return cr, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	or      := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | pred
+//	pred    := EXISTS (select)
+//	         | add [cmpop add | [NOT] IN (...) | [NOT] LIKE add | BETWEEN add AND add]
+//	add     := mul ((+|-) mul)*
+//	mul     := unary ((*|/) unary)*
+//	unary   := - unary | primary
+//	primary := literal | colref | func(args) | (select) | (or)
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("OR") {
+		pos := p.at()
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrOp{L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("AND") {
+		pos := p.at()
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = AndOp{L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peekKeyword("NOT") {
+		pos := p.at()
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotOp{E: e, Pos: pos}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.peekKeyword("EXISTS") {
+		pos := p.at()
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return ExistsOp{Sel: sel, Pos: pos}, nil
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			pos := p.at()
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return CmpOp{Op: t.text, L: l, R: r, Pos: pos}, nil
+		}
+	}
+	neg := false
+	if p.peekKeyword("NOT") {
+		// x NOT IN / x NOT LIKE: NOT here binds to the following operator.
+		save := p.i
+		p.next()
+		if !p.peekKeyword("IN") && !p.peekKeyword("LIKE") {
+			p.i = save
+			return l, nil
+		}
+		neg = true
+	}
+	switch {
+	case p.peekKeyword("IN"):
+		pos := p.at()
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := InList{E: l, Not: neg, Pos: pos}
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			in.Elems = append(in.Elems, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.peekKeyword("LIKE"):
+		pos := p.at()
+		p.next()
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return LikeOp{E: l, Pattern: pat, Not: neg, Pos: pos}, nil
+	case p.peekKeyword("BETWEEN"):
+		pos := p.at()
+		p.next()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: l, Lo: lo, Hi: hi, Pos: pos}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekSymbol("+") || p.peekSymbol("-") {
+		pos := p.at()
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekSymbol("*") || p.peekSymbol("/") {
+		pos := p.at()
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peekSymbol("-") {
+		pos := p.at()
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NegOp{E: e, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	pos := p.at()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return NumLit{Text: t.text, IsFloat: strings.ContainsRune(t.text, '.'), Pos: pos}, nil
+	case tokString:
+		p.next()
+		return StrLit{Val: t.text, Pos: pos}, nil
+	case tokIdent:
+		p.next()
+		// Function call?
+		if p.peekSymbol("(") {
+			p.next()
+			call := FuncCall{Name: t.text, Pos: pos}
+			if p.acceptSymbol("*") {
+				call.Star = true
+			} else if !p.peekSymbol(")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		cr := ColRef{Name: t.text, Pos: pos}
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			cr.Qual, cr.Name = t.text, col.text
+		}
+		return cr, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			if p.peekKeyword("SELECT") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return Subquery{Sel: sel, Pos: pos}, nil
+			}
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression, found %s", t.describe())
+}

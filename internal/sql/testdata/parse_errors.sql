@@ -1,0 +1,25 @@
+== missing-from
+SELECT SUM(x.A) WHERE x.A > 1
+== bad-statement
+DELETE FROM R
+== unterminated-string
+SELECT COUNT(*) FROM R r WHERE r.TAG = 'oops
+== bad-character
+SELECT COUNT(*) FROM R r WHERE r.A # 1
+== missing-paren
+SELECT SUM(r.A FROM R r
+== bad-column-type
+CREATE STREAM R (A whatsit)
+== missing-semicolon
+CREATE STREAM R (A int)
+SELECT COUNT(*) FROM R r
+== empty-in-list
+SELECT COUNT(*) FROM R r WHERE r.A IN ()
+== dangling-and
+SELECT COUNT(*) FROM R r WHERE r.A > 1 AND
+== group-without-by
+SELECT r.A, COUNT(*) FROM R r GROUP r.A
+== join-without-on
+SELECT COUNT(*) FROM R r JOIN S s WHERE r.A = s.A
+== stray-token
+SELECT COUNT(*) FROM R r; 42

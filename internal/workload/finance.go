@@ -80,8 +80,6 @@ func asks(i string) agca.Expr {
 }
 
 func init() {
-	fin := financeCatalog()
-
 	// VWAP: SUM(price * volume) over bids whose price is high enough that the
 	// cumulative volume above it is below a quarter of the total volume.
 	vwapTotal := agca.SumOver(nil, agca.Mul(bids("3"), agca.V("bv3")))
@@ -152,14 +150,17 @@ func init() {
 		agca.Gt(agca.V("av1"), agca.Mul(agca.CF(0.0001), agca.V("pat"))),
 		agca.Add(agca.V("ap1"), agca.Neg{E: agca.V("bp1")})))
 
-	for name, expr := range map[string]agca.Expr{
+	for name, oracle := range map[string]agca.Expr{
 		"VWAP": vwap, "AXF": axf, "BSP": bsp, "BSV": bsv, "MST": mst, "PSP": psp,
 	} {
+		q, cat, src := mustFromSQL(name)
 		Register(Spec{
 			Name:    name,
 			Group:   "finance",
-			Catalog: fin.Clone(),
-			Query:   compiler.Query{Name: name, Expr: expr},
+			Catalog: cat,
+			Query:   q,
+			SQL:     src,
+			Oracle:  compiler.Query{Name: name, Expr: oracle},
 			Statics: func() map[string]*gmr.GMR { return nil },
 			Stream:  financeStream,
 		})

@@ -87,11 +87,14 @@ func init() {
 		agca.Eq(agca.V("res2"), agca.CS("TIP3")), agca.Eq(agca.V("an2"), agca.CS("OH2")),
 		dist))
 
+	q, cat, src := mustFromSQL("MDDB1")
 	Register(Spec{
 		Name:    "MDDB1",
 		Group:   "mddb",
-		Catalog: mddbCatalog(),
-		Query:   compiler.Query{Name: "MDDB1", Expr: mddb1},
+		Catalog: cat,
+		Query:   q,
+		SQL:     src,
+		Oracle:  compiler.Query{Name: "MDDB1", Expr: mddb1},
 		Statics: mddbStatics,
 		Stream:  mddbStream,
 	})

@@ -1,0 +1,9 @@
+-- AXF: per-broker volume imbalance over widely spread bid/ask pairs.
+CREATE STREAM BIDS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+CREATE STREAM ASKS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+
+SELECT b.BROKER, SUM(a.VOLUME - b.VOLUME)
+FROM BIDS b, ASKS a
+WHERE b.BROKER = a.BROKER
+  AND (a.PRICE - b.PRICE > 1000 OR b.PRICE - a.PRICE > 1000)
+GROUP BY b.BROKER;

@@ -1,0 +1,8 @@
+-- BSP: per-broker notional difference over ordered pairs of the broker's bids.
+CREATE STREAM BIDS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+CREATE STREAM ASKS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+
+SELECT x.BROKER, SUM(x.VOLUME * x.PRICE - y.VOLUME * y.PRICE)
+FROM BIDS x, BIDS y
+WHERE x.BROKER = y.BROKER AND x.T > y.T
+GROUP BY x.BROKER;

@@ -1,0 +1,8 @@
+-- BSV: per-broker bilinear notional over pairs of the broker's bids.
+CREATE STREAM BIDS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+CREATE STREAM ASKS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+
+SELECT x.BROKER, SUM(x.VOLUME * x.PRICE * y.VOLUME * y.PRICE * 0.5)
+FROM BIDS x, BIDS y
+WHERE x.BROKER = y.BROKER
+GROUP BY x.BROKER;

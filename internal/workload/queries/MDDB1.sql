@@ -1,0 +1,10 @@
+-- MDDB1: total pairwise LYS(NZ)-TIP3(OH2) distance per trajectory frame.
+CREATE STREAM ATOMPOSITIONS (TRJ int, T int, AID int, X float, Y float, Z float);
+CREATE TABLE ATOMMETA (AID int, RESIDUE string, ATOMNAME string);
+
+SELECT p1.TRJ, p1.T, SUM(vec_length(p1.X - p2.X, p1.Y - p2.Y, p1.Z - p2.Z))
+FROM ATOMPOSITIONS p1, ATOMMETA m1, ATOMPOSITIONS p2, ATOMMETA m2
+WHERE p1.TRJ = p2.TRJ AND p1.T = p2.T
+  AND m1.AID = p1.AID AND m1.RESIDUE = 'LYS'  AND m1.ATOMNAME = 'NZ'
+  AND m2.AID = p2.AID AND m2.RESIDUE = 'TIP3' AND m2.ATOMNAME = 'OH2'
+GROUP BY p1.TRJ, p1.T;

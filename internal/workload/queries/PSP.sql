@@ -1,0 +1,8 @@
+-- PSP: price spread over high-volume bid/ask pairs.
+CREATE STREAM BIDS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+CREATE STREAM ASKS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+
+SELECT SUM(a.PRICE - b.PRICE)
+FROM BIDS b, ASKS a
+WHERE b.VOLUME > 0.0001 * (SELECT SUM(b2.VOLUME) FROM BIDS b2)
+  AND a.VOLUME > 0.0001 * (SELECT SUM(a2.VOLUME) FROM ASKS a2);

@@ -1,0 +1,18 @@
+-- TPC-H Q10: revenue of returned items per customer, joined with Nation.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT c.CK, n.NNAME, SUM(l.PRICE * (1 - 0.01 * l.DISC))
+FROM CUSTOMER c, ORDERS o, LINEITEM l, NATION n
+WHERE c.CK = o.CK AND l.OK = o.OK AND n.NK = c.NK
+  AND o.ODATE >= DATE('1993-10-01') AND o.ODATE < DATE('1994-01-01')
+  AND l.RFLAG = 'R'
+GROUP BY c.CK, n.NNAME;

@@ -1,0 +1,16 @@
+-- TPC-H Q17a: revenue of small orders vs the per-part average demand.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT SUM(l.PRICE)
+FROM PART p, LINEITEM l
+WHERE p.PK = l.PK
+  AND l.QTY * 200 < (SELECT SUM(l2.QTY) FROM LINEITEM l2 WHERE l2.PK = p.PK);

@@ -1,0 +1,17 @@
+-- TPC-H Q18a: quantity delivered to customers with large orders.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT c.CK, SUM(l.QTY)
+FROM CUSTOMER c, ORDERS o, LINEITEM l
+WHERE c.CK = o.CK AND l.OK = o.OK
+  AND 100 < (SELECT SUM(l3.QTY) FROM LINEITEM l3 WHERE l3.OK = o.OK)
+GROUP BY c.CK;

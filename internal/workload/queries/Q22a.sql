@@ -1,0 +1,18 @@
+-- TPC-H Q22a: balances of order-less customers above the positive average.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT c.NK, SUM(c.ACCTBAL)
+FROM CUSTOMER c
+WHERE c.ACCTBAL < 0.01 * (SELECT SUM(c2.ACCTBAL) FROM CUSTOMER c2
+                          WHERE c2.ACCTBAL > 0)
+  AND (SELECT COUNT(*) FROM ORDERS o WHERE o.CK = c.CK) = 0
+GROUP BY c.NK;

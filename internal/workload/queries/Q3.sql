@@ -1,0 +1,19 @@
+-- TPC-H Q3: revenue of building-segment orders shipped after the cutoff.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT o.OK, o.ODATE, SUM(l.PRICE * (1 - 0.01 * l.DISC))
+FROM CUSTOMER c, ORDERS o, LINEITEM l
+WHERE c.CK = o.CK AND l.OK = o.OK
+  AND c.MKTSEG = 'BUILDING'
+  AND o.ODATE < DATE('1995-03-15')
+  AND l.SHIPDATE > DATE('1995-03-15')
+GROUP BY o.OK, o.ODATE;

@@ -1,0 +1,18 @@
+-- TPC-H Q4: order-priority count of orders with at least one late line item.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT o.OPRIO, COUNT(*)
+FROM ORDERS o
+WHERE o.ODATE >= DATE('1993-07-01') AND o.ODATE < DATE('1993-10-01')
+  AND (SELECT COUNT(*) FROM LINEITEM l
+       WHERE l.OK = o.OK AND l.COMMITDATE < l.RECEIPTDATE) > 0
+GROUP BY o.OPRIO;

@@ -1,0 +1,17 @@
+-- TPC-H Q6: forecast revenue change.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT SUM(l.PRICE * 0.01 * l.DISC)
+FROM LINEITEM l
+WHERE l.SHIPDATE >= DATE('1994-01-01') AND l.SHIPDATE < DATE('1995-01-01')
+  AND l.DISC BETWEEN 5 AND 7
+  AND l.QTY < 24;

@@ -1,0 +1,18 @@
+-- SSB4: star-schema join grouped by customer and supplier region.
+CREATE STREAM LINEITEM (OK int, PK int, SK int, QTY int, PRICE int, DISC int,
+                        RFLAG string, SHIPDATE date, COMMITDATE date,
+                        RECEIPTDATE date, SHIPMODE string);
+CREATE STREAM ORDERS (OK int, CK int, ODATE date, OPRIO string);
+CREATE STREAM CUSTOMER (CK int, NK int, MKTSEG string, ACCTBAL int);
+CREATE STREAM PART (PK int, BRAND string, PTYPE string, PSIZE int);
+CREATE STREAM SUPPLIER (SK int, NK int);
+CREATE STREAM PARTSUPP (PK int, SK int, AVAILQTY int, SUPPLYCOST int);
+CREATE TABLE NATION (NK int, RK int, NNAME string);
+CREATE TABLE REGION (RK int, RNAME string);
+
+SELECT n1.RK, n2.RK, SUM(l.QTY)
+FROM CUSTOMER c, ORDERS o, LINEITEM l, PART p, SUPPLIER s, NATION n1, NATION n2
+WHERE c.CK = o.CK AND l.OK = o.OK AND l.PK = p.PK AND l.SK = s.SK
+  AND n1.NK = c.NK AND n2.NK = s.NK
+  AND o.ODATE >= DATE('1997-01-01') AND o.ODATE < DATE('1998-01-01')
+GROUP BY n1.RK, n2.RK;

@@ -1,0 +1,8 @@
+-- VWAP: volume-weighted average price of the upper quarter of the bid book.
+CREATE STREAM BIDS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+CREATE STREAM ASKS (T int, ID int, BROKER int, PRICE int, VOLUME int);
+
+SELECT SUM(b1.PRICE * b1.VOLUME)
+FROM BIDS b1
+WHERE 0.25 * (SELECT SUM(b3.VOLUME) FROM BIDS b3)
+      > (SELECT SUM(b2.VOLUME) FROM BIDS b2 WHERE b2.PRICE > b1.PRICE);

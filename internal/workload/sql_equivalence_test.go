@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/catalog"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trigger programs under queries/golden")
+
+// viewContents flattens a view into a value-keyed map (the key schema's
+// variable names are translation artifacts and intentionally ignored; the
+// key order is the GROUP BY order, which the SQL sources share with the
+// hand-built ASTs).
+func viewContents(g *gmr.GMR) map[string]float64 {
+	out := map[string]float64{}
+	var buf []byte
+	g.Foreach(func(tu types.Tuple, m float64) {
+		buf = buf[:0]
+		for _, v := range tu {
+			buf = v.EncodeKey(buf)
+			buf = append(buf, '|')
+		}
+		out[string(buf)] += m
+	})
+	return out
+}
+
+func sameContents(a, b map[string]float64, tol float64) (string, bool) {
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok && math.Abs(av) > tol {
+			return fmt.Sprintf("key %q only on SQL side (%.6g)", k, av), false
+		}
+		if math.Abs(av-bv) > tol*math.Max(1, math.Abs(av)) {
+			return fmt.Sprintf("key %q: SQL %.6g vs oracle %.6g", k, av, bv), false
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok && math.Abs(bv) > tol {
+			return fmt.Sprintf("key %q only on oracle side (%.6g)", k, bv), false
+		}
+	}
+	return "", true
+}
+
+// replayProgram compiles q under the mode and replays the event prefix,
+// returning the result view at the half-way point and at the end.
+func replayProgram(t *testing.T, q compiler.Query, cat *catalog.Catalog, mode compiler.Mode,
+	statics map[string]*gmr.GMR, events []engine.Event) (mid, end map[string]float64) {
+	t.Helper()
+	prog, err := compiler.Compile(q, cat, compiler.OptionsFor(mode))
+	if err != nil {
+		t.Fatalf("%s: compile (%s): %v", q.Name, mode, err)
+	}
+	eng := engine.New(prog)
+	for name, data := range statics {
+		eng.LoadStatic(name, data)
+	}
+	if err := eng.Init(); err != nil {
+		t.Fatalf("%s: init (%s): %v", q.Name, mode, err)
+	}
+	half := len(events) / 2
+	for i, ev := range events {
+		if err := eng.Apply(ev); err != nil {
+			t.Fatalf("%s: event %d (%s): %v", q.Name, i, mode, err)
+		}
+		if i == half {
+			mid = viewContents(eng.Result())
+		}
+	}
+	return mid, viewContents(eng.Result())
+}
+
+// TestSQLFrontendMatchesHandBuiltAST is the frontend's acceptance property:
+// for every workload query, the program compiled from the SQL source and the
+// program compiled from the hand-built AGCA AST maintain identical view
+// contents across the whole event stream, in every compiler mode.
+func TestSQLFrontendMatchesHandBuiltAST(t *testing.T) {
+	modes := []compiler.Mode{compiler.ModeDBToaster, compiler.ModeIVM, compiler.ModeREP, compiler.ModeNaive}
+	// Re-evaluation (REP) recomputes the query per event, so the expensive
+	// self-join and nested-aggregate queries replay a shorter prefix.
+	caps := map[string]int{"MST": 24, "VWAP": 60, "PSP": 60, "BSP": 90, "AXF": 90, "BSV": 90, "MDDB1": 100, "SSB4": 120}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if spec.Oracle.Expr == nil {
+				t.Fatalf("spec %s has no oracle AST", spec.Name)
+			}
+			limit := 160
+			if c, ok := caps[spec.Name]; ok {
+				limit = c
+			}
+			events := spec.Stream(0.03, 13)
+			if len(events) > limit {
+				events = events[:limit]
+			}
+			for _, mode := range modes {
+				statics := spec.Statics()
+				gotMid, gotEnd := replayProgram(t, spec.Query, spec.Catalog, mode, statics, events)
+				wantMid, wantEnd := replayProgram(t, spec.Oracle, spec.Catalog, mode, statics, events)
+				if diff, ok := sameContents(gotMid, wantMid, 1e-4); !ok {
+					t.Fatalf("%s: SQL and hand-built views diverge mid-stream: %s", mode, diff)
+				}
+				if diff, ok := sameContents(gotEnd, wantEnd, 1e-4); !ok {
+					t.Fatalf("%s: SQL and hand-built views diverge at end of stream: %s", mode, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestSQLCatalogsMatchHandBuilt pins the DDL of the .sql sources to the
+// catalogs the streams were written against.
+func TestSQLCatalogsMatchHandBuilt(t *testing.T) {
+	oracles := map[string]*catalog.Catalog{
+		"tpch":    tpchCatalog(),
+		"finance": financeCatalog(),
+		"mddb":    mddbCatalog(),
+	}
+	for _, spec := range All() {
+		want := oracles[spec.Group]
+		for _, r := range want.Relations() {
+			cols, err := spec.Catalog.Columns(r.Name)
+			if err != nil {
+				t.Errorf("%s: DDL misses relation %s", spec.Name, r.Name)
+				continue
+			}
+			if !types.Schema(cols).Equal(types.Schema(r.Columns)) {
+				t.Errorf("%s: relation %s columns %v, hand-built %v", spec.Name, r.Name, cols, r.Columns)
+			}
+			if spec.Catalog.IsStatic(r.Name) != r.Static {
+				t.Errorf("%s: relation %s static flag disagrees with hand-built catalog", spec.Name, r.Name)
+			}
+		}
+		if got, want := len(spec.Catalog.Relations()), len(want.Relations()); got != want {
+			t.Errorf("%s: DDL declares %d relations, hand-built catalog has %d", spec.Name, got, want)
+		}
+	}
+}
+
+// TestSQLGoldenTriggerPrograms compiles every workload SQL source under the
+// default (Higher-Order IVM) options and compares the printed trigger
+// program against the checked-in golden output. Run with -update-golden
+// after an intentional compiler or frontend change.
+func TestSQLGoldenTriggerPrograms(t *testing.T) {
+	for _, spec := range All() {
+		prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got := fmt.Sprintf("-- query %s (AGCA): %s\n%s", spec.Name, agca.String(spec.Query.Expr), prog.String())
+		path := filepath.Join("queries", "golden", spec.Name+".golden")
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-golden): %v", spec.Name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: trigger program differs from golden %s (run with -update-golden after intentional changes)\n%s",
+				spec.Name, path, firstDiff(got, string(want)))
+		}
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n got  %s\n want %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("got %d lines, want %d", len(al), len(bl))
+}
+
+// TestWorkloadSQLSourcesExist ensures every registered query carries its SQL
+// text and every embedded source belongs to a registered query.
+func TestWorkloadSQLSourcesExist(t *testing.T) {
+	names := map[string]bool{}
+	for _, spec := range All() {
+		names[spec.Name] = true
+		if spec.SQL == "" {
+			t.Errorf("%s: no SQL source", spec.Name)
+		}
+		if _, ok := SQLSource(spec.Name); !ok {
+			t.Errorf("%s: SQLSource lookup failed", spec.Name)
+		}
+	}
+	entries, err := queryFS.ReadDir("queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stray []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".sql")
+		if !names[name] {
+			stray = append(stray, e.Name())
+		}
+	}
+	sort.Strings(stray)
+	if len(stray) > 0 {
+		t.Errorf("embedded SQL files with no registered query: %v", stray)
+	}
+}

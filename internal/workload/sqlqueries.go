@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"embed"
+	"fmt"
+
+	"dbtoaster/internal/catalog"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/sql"
+)
+
+// The workload queries are defined as SQL text under queries/ — each file is
+// a self-contained script (the group's CREATE STREAM/TABLE declarations plus
+// one SELECT) that also compiles stand-alone with `dbtoasterc -sql`. The
+// registration path parses and translates them through the SQL frontend at
+// init time, so the specs exercise exactly the pipeline an external query
+// file goes through; the hand-built AGCA ASTs stay registered as oracles
+// (Spec.Oracle) that the equivalence tests replay against.
+
+//go:embed queries/*.sql
+var queryFS embed.FS
+
+// SQLSource returns the embedded SQL text of the named workload query.
+func SQLSource(name string) (string, bool) {
+	b, err := queryFS.ReadFile("queries/" + name + ".sql")
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// mustFromSQL parses and translates the named query's embedded SQL source,
+// returning the compiler query, the catalog declared by its DDL, and the
+// source text. Workload sources are fixed at build time, so failures are
+// programming errors and panic (any test run surfaces them).
+func mustFromSQL(name string) (compiler.Query, *catalog.Catalog, string) {
+	src, ok := SQLSource(name)
+	if !ok {
+		panic(fmt.Sprintf("workload: no SQL source for query %q", name))
+	}
+	script, err := sql.Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("workload: parse %s.sql: %v", name, err))
+	}
+	cat, err := script.Catalog()
+	if err != nil {
+		panic(fmt.Sprintf("workload: catalog of %s.sql: %v", name, err))
+	}
+	queries, err := script.Queries(name)
+	if err != nil {
+		panic(fmt.Sprintf("workload: translate %s.sql: %v", name, err))
+	}
+	if len(queries) != 1 {
+		panic(fmt.Sprintf("workload: %s.sql defines %d queries, want 1", name, len(queries)))
+	}
+	return compiler.Query{Name: name, Expr: queries[0].Expr}, cat, src
+}

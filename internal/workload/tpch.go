@@ -62,13 +62,17 @@ func oneMinusDisc(v string) agca.Expr {
 }
 
 func init() {
-	cat := tpchCatalog()
-	register := func(name string, expr agca.Expr) {
+	// Each query registers its SQL-compiled form as the executable Query and
+	// the hand-built AST below as the Oracle the tests replay against.
+	register := func(name string, oracle agca.Expr) {
+		q, cat, src := mustFromSQL(name)
 		Register(Spec{
 			Name:    name,
 			Group:   "tpch",
-			Catalog: cat.Clone(),
-			Query:   compiler.Query{Name: name, Expr: expr},
+			Catalog: cat,
+			Query:   q,
+			SQL:     src,
+			Oracle:  compiler.Query{Name: name, Expr: oracle},
 			Statics: tpchStatics,
 			Stream:  tpchStream,
 		})

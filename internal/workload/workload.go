@@ -1,7 +1,9 @@
 // Package workload defines the benchmark workloads of the paper's evaluation
-// (§8): the queries (as AGCA expressions), the base-relation catalogs, any
-// static tables, and deterministic synthetic update streams that stand in for
-// the order-book trace, the DBGEN-derived TPC-H agenda, and the molecular
+// (§8): the queries (as SQL sources under queries/, compiled through the
+// internal/sql frontend at registration time, with the hand-built AGCA ASTs
+// kept as test oracles), the base-relation catalogs (from the sources' DDL),
+// any static tables, and deterministic synthetic update streams that stand in
+// for the order-book trace, the DBGEN-derived TPC-H agenda, and the molecular
 // dynamics trace.
 package workload
 
@@ -18,11 +20,19 @@ import (
 // its base relations, the query itself, preloaded static tables, and a stream
 // generator. Scale 1.0 corresponds to the small default used by the test
 // suite; the scaling experiment multiplies it.
+//
+// Query and Catalog are produced by compiling the query's SQL source (SQL,
+// also embedded under queries/) through the internal/sql frontend at
+// registration time. Oracle carries the hand-built AGCA AST of the same
+// query; the equivalence tests replay it against the SQL-derived program to
+// pin the frontend's semantics.
 type Spec struct {
 	Name    string
 	Group   string // "tpch", "finance", "mddb"
 	Catalog *catalog.Catalog
 	Query   compiler.Query
+	SQL     string
+	Oracle  compiler.Query
 	Statics func() map[string]*gmr.GMR
 	Stream  func(scale float64, seed int64) []engine.Event
 }

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | exec_throughput | gmr_memory | read_freshness")
+	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness")
 	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := flag.Float64("scale", 0.25, "stream scale factor")
 	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -26,6 +26,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
 	execFlag := flag.String("exec", "compiled", "statement executors: compiled | interp | verify")
 	readers := flag.Int("readers", 2, "concurrent snapshot readers (read_freshness experiment)")
+	guard := flag.String("guard", "", "comma-separated queries the batch_scaling guard enforces (empty = report only)")
 	flag.Parse()
 
 	execMode, err := engine.ParseExecMode(*execFlag)
@@ -82,6 +83,17 @@ func main() {
 		results := bench.BatchSweep(pick(workload.Names("tpch")), sizes, opts)
 		fmt.Println("Batched execution — DBToaster refreshes per second by batch size:")
 		fmt.Print(bench.FormatBatchTable(results, sizes))
+	case "batch_scaling":
+		shardCounts := []int{1, 2, 4, 8}
+		results := bench.BatchScaling(pick([]string{"Q1", "Q6", "VWAP", "Q3", "Q12"}), shardCounts, opts)
+		fmt.Println("Columnar batch pipeline — events/s: row path baseline vs columnar by shard count:")
+		fmt.Print(bench.FormatBatchScalingTable(results, shardCounts))
+		if *guard != "" {
+			if err := bench.CheckBatchScaling(results, strings.Split(*guard, ","), shardCounts[len(shardCounts)-1]); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("batch scaling guard passed for %s\n", *guard)
+		}
 	case "exec_throughput":
 		results := bench.ExecSweep(pick(workload.Names("")), opts)
 		fmt.Println("Statement executors — DBToaster refreshes per second, interpreter vs compiled:")

@@ -58,6 +58,7 @@ type Options struct {
 	BatchSize int             // events per ApplyBatch window (<= 1 replays one event at a time)
 	Shards    int             // shard workers for batched execution (0 = engine default)
 	Exec      engine.ExecMode // statement executors: compiled closures (default), interpreter, or verify
+	RowPath   bool            // disable the columnar block path inside batched windows
 }
 
 // DefaultOptions returns a configuration suitable for quick local runs.
@@ -75,6 +76,9 @@ func setup(spec workload.Spec, mode compiler.Mode, opts Options) (*engine.Engine
 	}
 	eng := engine.New(prog)
 	eng.SetExecMode(opts.Exec)
+	if opts.RowPath {
+		eng.SetColumnar(false)
+	}
 	if opts.Shards > 0 {
 		eng.SetShards(opts.Shards)
 	}
@@ -270,6 +274,175 @@ func FormatBatchTable(results []Result, sizes []int) string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// BatchScaling measures the columnar batch pipeline: each query is replayed
+// through ApplyBatch in DBToaster mode, once on the row-at-a-time path at one
+// shard (the pre-columnar baseline) and then on the columnar block path at
+// each shard count. The batch size defaults to 256 when unset — large enough
+// that every window clears the parallelism gate at the largest shard count.
+// Unlike Run, each cell cycles its stream until the budget expires, so short
+// generated streams still produce a stable rate instead of a few-millisecond
+// wall-clock sample (multiplicities keep accumulating, which is fine for a
+// throughput experiment).
+func BatchScaling(queries []string, shardCounts []int, opts Options) []Result {
+	if opts.BatchSize <= 1 {
+		opts.BatchSize = 256
+	}
+	cell := func(spec workload.Spec, o Options, system string) Result {
+		res := Result{Query: spec.Name, System: system}
+		eng, events, err := setup(spec, compiler.ModeDBToaster, o)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.NumMaps = len(eng.Program().Maps)
+		batches := workload.Batches(events, o.BatchSize)
+		start := time.Now()
+		deadline := time.Time{}
+		if o.Budget > 0 {
+			deadline = start.Add(o.Budget)
+		}
+	replay:
+		for {
+			for _, batch := range batches {
+				if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+					res.Err = fmt.Errorf("events %d..%d: %w", res.Events, res.Events+len(batch)-1, err)
+					break replay
+				}
+				res.Events += len(batch)
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					res.TimedOut = true
+					break replay
+				}
+			}
+			if deadline.IsZero() {
+				break
+			}
+		}
+		res.Elapsed = time.Since(start)
+		if res.Elapsed > 0 {
+			res.RefreshRate = float64(res.Events) / res.Elapsed.Seconds()
+		}
+		res.MemBytes = eng.MemoryBytes()
+		return res
+	}
+	var out []Result
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			out = append(out, Result{Query: q, System: "row@1",
+				Err: fmt.Errorf("unknown query %q", q)})
+			continue
+		}
+		o := opts
+		o.RowPath = true
+		o.Shards = 1
+		out = append(out, cell(spec, o, "row@1"))
+		for _, s := range shardCounts {
+			o := opts
+			o.RowPath = false
+			o.Shards = s
+			out = append(out, cell(spec, o, fmt.Sprintf("col@%d", s)))
+		}
+	}
+	return out
+}
+
+// FormatBatchScalingTable renders the batch_scaling experiment: one row per
+// query, the row-path baseline, the columnar rate at each shard count, the
+// single-shard columnar speedup over the row path, and the scaling of the
+// largest shard count over one shard.
+func FormatBatchScalingTable(results []Result, shardCounts []int) string {
+	byQuery := map[string]map[string]Result{}
+	var queries []string
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]Result{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.System] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s", "Query", "row@1")
+	for _, s := range shardCounts {
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("col@%d", s))
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "colx", "scaling")
+	maxShards := shardCounts[len(shardCounts)-1]
+	for _, q := range queries {
+		cells := byQuery[q]
+		fmt.Fprintf(&b, "%-10s", q)
+		print := func(r Result) {
+			if r.Err != nil {
+				fmt.Fprintf(&b, " %12s", "error")
+			} else {
+				fmt.Fprintf(&b, " %12.1f", r.RefreshRate)
+			}
+		}
+		print(cells["row@1"])
+		for _, s := range shardCounts {
+			print(cells[fmt.Sprintf("col@%d", s)])
+		}
+		row, col1 := cells["row@1"], cells["col@1"]
+		top := cells[fmt.Sprintf("col@%d", maxShards)]
+		if row.Err == nil && col1.Err == nil && row.RefreshRate > 0 {
+			fmt.Fprintf(&b, " %8.2fx", col1.RefreshRate/row.RefreshRate)
+		} else {
+			fmt.Fprintf(&b, " %9s", "-")
+		}
+		if col1.Err == nil && top.Err == nil && col1.RefreshRate > 0 {
+			fmt.Fprintf(&b, " %8.2fx", top.RefreshRate/col1.RefreshRate)
+		} else {
+			fmt.Fprintf(&b, " %9s", "-")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CheckBatchScaling enforces the CI guard over a BatchScaling run. On hosts
+// with at least four CPUs, the columnar path at maxShards must sustain at
+// least twice its one-shard rate for every guarded query. On smaller hosts
+// real shard scaling is physically impossible (the workers time-slice one
+// core), so the guard only rejects collapse: the maxShards rate falling
+// below 0.75x the one-shard rate would mean the partitioned merge costs more
+// than it can ever win back.
+func CheckBatchScaling(results []Result, queries []string, maxShards int) error {
+	byQuery := map[string]map[string]Result{}
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]Result{}
+		}
+		byQuery[r.Query][r.System] = r
+	}
+	min, why := 0.75, "no-collapse floor"
+	if runtime.NumCPU() >= 4 {
+		min, why = 2.0, "parallel speedup floor"
+	}
+	for _, q := range queries {
+		cells := byQuery[q]
+		if cells == nil {
+			return fmt.Errorf("batch scaling guard: no results for %s", q)
+		}
+		base := cells["col@1"]
+		top := cells[fmt.Sprintf("col@%d", maxShards)]
+		if base.Err != nil {
+			return fmt.Errorf("batch scaling guard: %s col@1: %w", q, base.Err)
+		}
+		if top.Err != nil {
+			return fmt.Errorf("batch scaling guard: %s col@%d: %w", q, maxShards, top.Err)
+		}
+		if base.RefreshRate <= 0 {
+			return fmt.Errorf("batch scaling guard: %s col@1 measured no throughput", q)
+		}
+		ratio := top.RefreshRate / base.RefreshRate
+		if ratio < min {
+			return fmt.Errorf("batch scaling guard: %s col@%d/col@1 = %.2fx, below the %.2fx %s (NumCPU=%d)",
+				q, maxShards, ratio, min, why, runtime.NumCPU())
+		}
+	}
+	return nil
 }
 
 // ExecSweep replays every query in DBToaster mode under both statement

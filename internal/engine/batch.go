@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"dbtoaster/internal/agca"
 	"dbtoaster/internal/exec"
@@ -50,22 +50,39 @@ func (b *Batch) Len() int { return b.n }
 // relationPlan is the cached batch execution plan for one relation's events:
 // the conflict analysis verdict plus per-statement fast-path information.
 type relationPlan struct {
-	// batchable is true when the relation's triggers commute across a window
-	// of its events (trigger.Program.RelationBatchable) and every target map
-	// resolves to a view; otherwise ApplyBatch falls back to sequential
-	// per-event execution for the group.
-	batchable bool
-	insert    *triggerPlan
-	delete    *triggerPlan
+	// class is the batch-execution class of the relation's triggers
+	// (trigger.Program.RelationBatchClass): BatchCommute groups batch fully,
+	// BatchReevalTail groups batch their increments and run the replacement
+	// tail once per window, BatchNone groups fall back to sequential
+	// per-event execution. Downgraded to BatchNone when a target map does not
+	// resolve to a view.
+	class  trigger.BatchClass
+	insert *triggerPlan
+	delete *triggerPlan
+	// insBlock/delBlock are the reusable columnar event blocks of the batched
+	// path, one per direction (the write side is single-goroutine, so plan
+	// scratch is safe to reuse across windows).
+	insBlock *exec.Block
+	delBlock *exec.Block
 }
 
 type triggerPlan struct {
 	trig  *trigger.Trigger
 	stmts []stmtPlan
-	// needEnv is true when some statement of the trigger takes the
-	// interpreter under the current exec mode, so the batched path must keep
-	// the trigger environment populated. Plans are rebuilt when the mode
-	// changes.
+	// incEnd is the end of the increment prefix: stmts[:incEnd] are the
+	// incremental statements the batched path evaluates per event row,
+	// stmts[incEnd:] the replacement tail a BatchReevalTail group runs once
+	// per window.
+	incEnd int
+	// hasBlock is true when at least one increment lowered to a block
+	// executor, so the batched path seals the group's blocks into columns;
+	// blockCols marks which columns those executors' typed loops index (the
+	// union across statements — only they are worth transposing).
+	hasBlock  bool
+	blockCols []bool
+	// needEnv is true when some increment takes the interpreter under the
+	// current exec mode, so the batched path must keep the trigger
+	// environment populated. Plans are rebuilt when the mode changes.
 	needEnv bool
 }
 
@@ -82,6 +99,11 @@ type stmtPlan struct {
 	// exec is the statement's compiled executor; nil when compilation failed
 	// (the statement stays on the interpreter) or the engine runs ExecInterp.
 	exec *exec.Executor
+	// block is the statement's columnar executor, compiled for increments
+	// when the engine runs compiled columnar batches; nil when the shape does
+	// not block-lower, in which case batched windows run the statement
+	// row-at-a-time through exec (or the interpreter).
+	block *exec.BlockExecutor
 	// cache is the sequential path's dedicated executor machine (only the
 	// engine's driving goroutine runs it; the batched path's concurrent
 	// chunk workers draw pooled machines through Run instead).
@@ -122,7 +144,7 @@ func (e *Engine) planFor(relation string) *relationPlan {
 		e.plans[relation] = nil
 		return nil
 	}
-	p := &relationPlan{batchable: e.prog.RelationBatchable(relation)}
+	p := &relationPlan{class: e.prog.RelationBatchClass(relation)}
 	if ins != nil {
 		p.insert = e.planTrigger(ins, p)
 	}
@@ -135,7 +157,13 @@ func (e *Engine) planFor(relation string) *relationPlan {
 }
 
 func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan {
-	tp := &triggerPlan{trig: t, stmts: make([]stmtPlan, len(t.Stmts))}
+	tp := &triggerPlan{trig: t, stmts: make([]stmtPlan, len(t.Stmts)), incEnd: len(t.Stmts)}
+	for si := range t.Stmts {
+		if t.Stmts[si].Kind == trigger.StmtReplace {
+			tp.incEnd = si
+			break
+		}
+	}
 	argIdx := make(map[string]int, len(t.Args))
 	for i, a := range t.Args {
 		argIdx[a] = i
@@ -146,12 +174,29 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 		if sp.target == nil {
 			// An unknown target map is reported per event by the sequential
 			// path; never take the batched one.
-			rp.batchable = false
+			rp.class = trigger.BatchNone
 		}
 		if sp.target != nil && e.execMode != ExecInterp {
 			// Compile errors are expected for shapes the exec compiler does
 			// not lower; those statements simply stay on the interpreter.
 			sp.exec, _ = s.Executor(t.Args)
+		}
+		if sp.target != nil && s.Kind == trigger.StmtIncrement &&
+			e.execMode == ExecCompiled && e.columnar {
+			// Likewise, a block compile error keeps the statement on the
+			// row-at-a-time path inside batched windows.
+			sp.block, _ = s.BlockExecutor(t.Args)
+			if sp.block != nil && si < tp.incEnd {
+				tp.hasBlock = true
+				if tp.blockCols == nil {
+					tp.blockCols = make([]bool, len(t.Args))
+				}
+				for i, u := range sp.block.UsedCols() {
+					if u {
+						tp.blockCols[i] = true
+					}
+				}
+			}
 		}
 		if sp.exec != nil && s.Kind == trigger.StmtIncrement {
 			sp.directEmit = true
@@ -184,7 +229,7 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 			}
 		}
 		tp.stmts[si] = sp
-		if sp.exec == nil || e.execMode != ExecCompiled {
+		if si < tp.incEnd && (sp.exec == nil || e.execMode != ExecCompiled) {
 			tp.needEnv = true
 		}
 	}
@@ -194,11 +239,15 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 // ApplyBatch processes a window of events. Groups whose triggers commute (no
 // statement reads a map the group writes — the common shape of the paper's
 // higher-order IVM programs, where a relation's delta queries only reference
-// maps over the other relations) are executed on the batched path: all
-// per-event deltas are computed against the group's pre-state, accumulated
-// per target view, and merged once per view across the shard worker pool.
-// Conflicting groups (replacement statements, or overlapping read/write
-// sets) fall back to sequential per-event Apply, preserving the paper's
+// maps over the other relations) are executed on the batched path: the
+// group's events are transposed into columnar blocks, per-event deltas are
+// computed against the group's pre-state — through block executors where the
+// statements lower, row-at-a-time otherwise — accumulated into key-hash-
+// partitioned delta stores, and merged into the views with the combine work
+// of even a single hot view spread across the worker pool. Groups with an
+// argument-independent replacement tail (VWAP's re-evaluation) batch their
+// increments the same way and run the tail once per window. Conflicting
+// groups fall back to sequential per-event Apply, preserving the paper's
 // one-trigger-per-event semantics exactly.
 //
 // A batched group is applied atomically: if any of its events fails, none of
@@ -227,7 +276,7 @@ func (e *Engine) applyBatchGroups(b *Batch, serve bool) error {
 			// paper's generated engines drop them.
 			continue
 		}
-		if !plan.batchable || e.execMode == ExecVerify {
+		if plan.class == trigger.BatchNone || e.execMode == ExecVerify {
 			// ExecVerify cross-checks executors on the sequential path, so
 			// batches degrade to verified per-event execution rather than
 			// silently skipping the comparison.
@@ -251,128 +300,197 @@ func (e *Engine) ApplyEvents(events []Event) error {
 	return e.ApplyBatch(NewBatch(events))
 }
 
-// workerDeltas accumulates, per target view, the summed delta of a chunk of
-// a group's events.
-type workerDeltas map[string]*gmr.GMR
+// deltaAcc is the accumulator the interpreted batch fallbacks emit into;
+// both a plain delta GMR (the verify path) and the batched path's
+// range-partitioned store satisfy it.
+type deltaAcc interface {
+	Add(t types.Tuple, m float64) float64
+}
 
-func (w workerDeltas) acc(v *View) *gmr.GMR {
-	d, ok := w[v.name]
+// workerDeltas accumulates, per target view, one worker's summed delta of
+// its chunks, partitioned by output-key hash range. Every worker uses the
+// same partition count, so part i of one worker's delta holds exactly the
+// same key range as part i of another's — the disjointness the merge stage's
+// lock-free combining relies on.
+type workerDeltas struct {
+	nParts int
+	m      map[string]*gmr.Ranged
+}
+
+func newWorkerDeltas(nParts int) *workerDeltas {
+	return &workerDeltas{nParts: nParts, m: map[string]*gmr.Ranged{}}
+}
+
+func (w *workerDeltas) acc(v *View) *gmr.Ranged {
+	d, ok := w.m[v.name]
 	if !ok {
-		d = gmr.New(types.Schema(v.keys))
-		w[v.name] = d
+		d = gmr.NewRanged(types.Schema(v.keys), w.nParts)
+		w.m[v.name] = d
 	}
 	return d
 }
 
-// applyGroup runs one conflict-free group: phase 1 evaluates per-event
-// deltas (in parallel chunks when more than one shard worker is configured),
-// phase 2 merges the accumulated deltas into the views, partitioned across
-// the workers by view-name hash.
+// blockChunk is one unit of phase-1 work: a row range of one direction's
+// columnar block, evaluated under that direction's trigger plan.
+type blockChunk struct {
+	tp     *triggerPlan
+	block  *exec.Block
+	lo, hi int
+}
+
+// applyGroup runs one batchable group. Phase 1 transposes the events into
+// per-direction columnar blocks and evaluates the increment statements over
+// row chunks (concurrently when more than one shard worker is configured),
+// each worker accumulating into its own hash-range-partitioned deltas.
+// Phase 2 combines the workers' deltas part by part — disjoint key ranges,
+// so a single hot view's combine spreads across the pool — and applies the
+// combined parts to the views. A re-evaluation tail, when present, runs once
+// at the end on the driving goroutine.
 func (e *Engine) applyGroup(plan *relationPlan, events []Event) error {
-	if e.shards <= 1 || len(events) < 2*e.shards {
-		deltas, n, err := e.evalChunk(plan, events)
-		if err != nil {
-			return err
-		}
-		e.countEvents(n)
-		for name, d := range deltas {
-			e.views[name].MergeDelta(d)
-		}
-		e.captureGroupLocked(deltas)
+	insB, delB, n, err := e.buildGroupBlocks(plan, events)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
 		return nil
 	}
 
-	chunks := splitChunks(events, e.shards)
-	results := make([]workerDeltas, len(chunks))
-	counts := make([]uint64, len(chunks))
-	errs := make([]error, len(chunks))
-	var wg sync.WaitGroup
-	for i := range chunks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], counts[i], errs[i] = e.evalChunk(plan, chunks[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	var chunks []blockChunk
+	parallel := e.shards > 1 && n >= 2*e.shards
+	for _, dir := range [2]struct {
+		tp    *triggerPlan
+		block *exec.Block
+	}{{plan.insert, insB}, {plan.delete, delB}} {
+		if dir.block == nil || dir.block.Len() == 0 {
+			continue
+		}
+		if parallel {
+			for _, r := range splitChunks(dir.block.Len(), e.shards) {
+				chunks = append(chunks, blockChunk{tp: dir.tp, block: dir.block, lo: r[0], hi: r[1]})
+			}
+		} else {
+			chunks = append(chunks, blockChunk{tp: dir.tp, block: dir.block, lo: 0, hi: dir.block.Len()})
 		}
 	}
-	for _, n := range counts {
-		e.countEvents(n)
+	nw := 1
+	if parallel && len(chunks) > 1 {
+		nw = e.shards
+		if nw > len(chunks) {
+			nw = len(chunks)
+		}
 	}
-	e.mergeSharded(results)
-	for _, wd := range results {
-		e.captureGroupLocked(wd)
+
+	if nw == 1 {
+		deltas := newWorkerDeltas(1)
+		for _, c := range chunks {
+			if err := e.evalBlockChunk(c.tp, c.block, c.lo, c.hi, deltas); err != nil {
+				return err
+			}
+		}
+		e.countEvents(uint64(n))
+		for name, rd := range deltas.m {
+			v := e.views[name]
+			for i := 0; i < rd.NumParts(); i++ {
+				if p := rd.Part(i); p != nil {
+					v.MergeDelta(p)
+				}
+			}
+		}
+		e.captureGroupLocked(deltas.m)
+	} else {
+		results := make([]*workerDeltas, nw)
+		errs := make([]error, nw)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wd := newWorkerDeltas(e.shards)
+				results[w] = wd
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(chunks) {
+						return
+					}
+					c := chunks[i]
+					if err := e.evalBlockChunk(c.tp, c.block, c.lo, c.hi, wd); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		e.countEvents(uint64(n))
+		combined := e.mergeRanged(results, nw)
+		e.captureGroupLocked(combined)
+	}
+
+	if plan.class == trigger.BatchReevalTail {
+		return e.runReevalTail(plan, events)
 	}
 	return nil
 }
 
-// captureGroupLocked folds a worker's per-view deltas into the subscription
-// hub's capture accumulators — the batched path feeds subscribers from the
-// very deltas it merged into the views, with no extra evaluation. Callers
-// hold e.mu.
-func (e *Engine) captureGroupLocked(deltas workerDeltas) {
-	if !e.capturing {
-		return
-	}
-	for name, d := range deltas {
-		if c := e.capture[name]; c != nil {
-			c.MergeInto(d, 1)
-		}
-	}
-}
-
-// splitChunks cuts events into at most n contiguous, near-equal chunks.
-func splitChunks(events []Event, n int) [][]Event {
-	if n > len(events) {
-		n = len(events)
-	}
-	out := make([][]Event, 0, n)
-	for i := 0; i < n; i++ {
-		lo, hi := i*len(events)/n, (i+1)*len(events)/n
-		if lo < hi {
-			out = append(out, events[lo:hi])
-		}
-	}
-	return out
-}
-
-// mergeSharded applies every worker's deltas, with each view owned by
-// exactly one shard worker (chosen by name hash) so that no locking is
-// needed on the views themselves.
-func (e *Engine) mergeSharded(results []workerDeltas) {
-	var wg sync.WaitGroup
-	for s := 0; s < e.shards; s++ {
-		wg.Add(1)
-		go func(s uint32) {
-			defer wg.Done()
-			for _, wd := range results {
-				for name, d := range wd {
-					if viewShard(name)%uint32(e.shards) != s {
-						continue
-					}
-					e.views[name].MergeDelta(d)
+// buildGroupBlocks transposes a group's events into one columnar block per
+// direction (skipping directions without a trigger), returning the number of
+// rows transposed. Blocks are sealed into typed columns only when some
+// statement will actually run a block executor over them.
+func (e *Engine) buildGroupBlocks(plan *relationPlan, events []Event) (insB, delB *exec.Block, n int, err error) {
+	for i := range events {
+		ev := &events[i]
+		var tp *triggerPlan
+		var block **exec.Block
+		if ev.Insert {
+			tp, block = plan.insert, &insB
+			if tp != nil && *block == nil {
+				if plan.insBlock == nil {
+					plan.insBlock = exec.NewBlock(len(tp.trig.Args))
 				}
+				plan.insBlock.Reset()
+				*block = plan.insBlock
 			}
-		}(uint32(s))
+		} else {
+			tp, block = plan.delete, &delB
+			if tp != nil && *block == nil {
+				if plan.delBlock == nil {
+					plan.delBlock = exec.NewBlock(len(tp.trig.Args))
+				}
+				plan.delBlock.Reset()
+				*block = plan.delBlock
+			}
+		}
+		if tp == nil {
+			continue
+		}
+		if len(ev.Tuple) != len(tp.trig.Args) {
+			return nil, nil, 0, fmt.Errorf("event on %s carries %d values, trigger expects %d",
+				ev.Relation, len(ev.Tuple), len(tp.trig.Args))
+		}
+		(*block).Append(ev.Tuple)
+		n++
 	}
-	wg.Wait()
+	if insB != nil && plan.insert.hasBlock {
+		insB.SealUsed(plan.insert.blockCols)
+	}
+	if delB != nil && plan.delete.hasBlock {
+		delB.SealUsed(plan.delete.blockCols)
+	}
+	return insB, delB, n, nil
 }
 
-func viewShard(name string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return h.Sum32()
-}
-
-// evalChunk computes the summed per-view deltas of a chunk of a group's
-// events against the engine's current (frozen) state. It returns the number
-// of events that had a matching trigger. Evaluation only reads views, so
-// chunks of the same group can run concurrently.
-func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDeltas, n uint64, err error) {
+// evalBlockChunk evaluates the increment statements of one trigger over rows
+// [lo, hi) of a block against the engine's current (pre-window) state.
+// Statements with block executors run their columnar loops over the whole
+// chunk; the rest run row-at-a-time (compiled, scalar fast path, or
+// interpreter). Evaluation only reads views, so chunks run concurrently.
+func (e *Engine) evalBlockChunk(tp *triggerPlan, block *exec.Block, lo, hi int, deltas *workerDeltas) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(*agca.EvalError); ok {
@@ -382,50 +500,40 @@ func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDel
 			panic(r)
 		}
 	}()
-	deltas = workerDeltas{}
-	var envIns, envDel types.Env
-	for i := range events {
-		ev := &events[i]
-		var tp *triggerPlan
-		var env types.Env
-		if ev.Insert {
-			if plan.insert == nil {
-				continue
+	compiled := e.execMode == ExecCompiled
+	rowStmts := false
+	for si := 0; si < tp.incEnd; si++ {
+		sp := &tp.stmts[si]
+		if compiled && sp.block != nil {
+			if err := sp.block.RunBlock(e, block, lo, hi, deltas.acc(sp.target)); err != nil {
+				return fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
 			}
-			tp = plan.insert
-			if envIns == nil {
-				envIns = make(types.Env, len(tp.trig.Args))
-			}
-			env = envIns
-		} else {
-			if plan.delete == nil {
-				continue
-			}
-			tp = plan.delete
-			if envDel == nil {
-				envDel = make(types.Env, len(tp.trig.Args))
-			}
-			env = envDel
+			continue
 		}
-		if len(tp.trig.Args) != len(ev.Tuple) {
-			return deltas, n, fmt.Errorf("event on %s carries %d values, trigger expects %d",
-				ev.Relation, len(ev.Tuple), len(tp.trig.Args))
-		}
-		n++
-		// Compiled statements read the event tuple directly; the argument
-		// names are fixed per trigger, so when some statement still needs the
-		// interpreter the same environment is reused across the chunk with
-		// values overwritten in place.
+		rowStmts = true
+	}
+	if !rowStmts {
+		return nil
+	}
+	var env types.Env
+	if tp.needEnv {
+		env = make(types.Env, len(tp.trig.Args))
+	}
+	for i := lo; i < hi; i++ {
+		row := block.Row(i)
 		if tp.needEnv {
 			for j, a := range tp.trig.Args {
-				env[a] = ev.Tuple[j]
+				env[a] = row[j]
 			}
 		}
-		for si := range tp.stmts {
+		for si := 0; si < tp.incEnd; si++ {
 			sp := &tp.stmts[si]
-			if sp.exec != nil && e.execMode == ExecCompiled {
-				if err := sp.exec.Run(e, ev.Tuple, deltas.acc(sp.target)); err != nil {
-					return deltas, n, fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
+			if compiled && sp.block != nil {
+				continue
+			}
+			if compiled && sp.exec != nil {
+				if err := sp.exec.Run(e, row, deltas.acc(sp.target)); err != nil {
+					return fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
 				}
 				continue
 			}
@@ -436,24 +544,205 @@ func (e *Engine) evalChunk(plan *relationPlan, events []Event) (deltas workerDel
 				}
 				key := make(types.Tuple, len(sp.keyArg))
 				for k, j := range sp.keyArg {
-					key[k] = ev.Tuple[j]
+					key[k] = row[j]
 				}
 				deltas.acc(sp.target).Add(key, m)
 				continue
 			}
-			if err := e.stmtDelta(sp, env, ev.Tuple, deltas.acc(sp.target)); err != nil {
-				return deltas, n, fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
+			if err := e.stmtDelta(sp, env, row, deltas.acc(sp.target)); err != nil {
+				return fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
 			}
 		}
 	}
-	return deltas, n, nil
+	return nil
+}
+
+// mergeRanged is phase 2 of a multi-worker group. Stage A combines the
+// workers' deltas part by part: parts with the same index hold the same key-
+// hash range across workers, so the (view, part) combine tasks are mutually
+// disjoint and run lock-free across the pool — this is where one hot view's
+// merge work parallelizes. Parts only one worker touched are adopted by
+// pointer. Stage B applies each view's combined parts to the view, one task
+// per view (a view's flat store is a single structure; applying it is the
+// serial minimum). Small groups skip the goroutine fan-out.
+func (e *Engine) mergeRanged(results []*workerDeltas, nw int) map[string]*gmr.Ranged {
+	perView := map[string][]*gmr.Ranged{}
+	total := 0
+	for _, wd := range results {
+		if wd == nil {
+			continue
+		}
+		for name, rd := range wd.m {
+			perView[name] = append(perView[name], rd)
+			total += rd.Len()
+		}
+	}
+	combined := make(map[string]*gmr.Ranged, len(perView))
+	type partTask struct {
+		dst  *gmr.Ranged
+		srcs []*gmr.Ranged
+		part int
+	}
+	var tasks []partTask
+	for name, list := range perView {
+		combined[name] = list[0]
+		if len(list) == 1 {
+			continue
+		}
+		for p := 0; p < list[0].NumParts(); p++ {
+			tasks = append(tasks, partTask{dst: list[0], srcs: list[1:], part: p})
+		}
+	}
+	combinePart := func(t partTask) {
+		dstPart := t.dst.Part(t.part)
+		for _, src := range t.srcs {
+			sp := src.Part(t.part)
+			if sp == nil {
+				continue
+			}
+			if dstPart == nil {
+				t.dst.SetPart(t.part, sp)
+				dstPart = sp
+				continue
+			}
+			dstPart.MergeInto(sp, 1)
+		}
+	}
+	// Stage A: combine across workers, parallel over (view, part).
+	const inlineThreshold = 256
+	if total < inlineThreshold || len(tasks) <= 1 {
+		for _, t := range tasks {
+			combinePart(t)
+		}
+	} else {
+		runTasks(nw, len(tasks), func(i int) { combinePart(tasks[i]) })
+	}
+
+	// Stage B: apply combined parts, parallel over views.
+	names := make([]string, 0, len(combined))
+	for name := range combined {
+		names = append(names, name)
+	}
+	applyView := func(i int) {
+		v := e.views[names[i]]
+		rd := combined[names[i]]
+		for p := 0; p < rd.NumParts(); p++ {
+			if part := rd.Part(p); part != nil {
+				v.MergeDelta(part)
+			}
+		}
+	}
+	if total < inlineThreshold || len(names) <= 1 {
+		for i := range names {
+			applyView(i)
+		}
+	} else {
+		runTasks(nw, len(names), func(i int) { applyView(i) })
+	}
+	return combined
+}
+
+// runTasks runs n tasks across up to nw goroutines pulling from a shared
+// counter.
+func runTasks(nw, n int, task func(i int)) {
+	if nw > n {
+		nw = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runReevalTail executes the trailing replacement statements of a
+// BatchReevalTail group once, after the merged increments. The tails of the
+// relation's triggers are identical and argument-independent (that is what
+// earned the class), so running the last applicable event's tail on the
+// post-window state produces exactly the map contents sequential per-event
+// execution would have left behind.
+func (e *Engine) runReevalTail(plan *relationPlan, events []Event) error {
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := &events[i]
+		tp := plan.delete
+		if ev.Insert {
+			tp = plan.insert
+		}
+		if tp == nil || tp.incEnd == len(tp.stmts) {
+			continue
+		}
+		var env types.Env
+		for si := tp.incEnd; si < len(tp.stmts); si++ {
+			if err := e.executeStmt(&tp.stmts[si], ev.Tuple, tp.trig.Args, &env); err != nil {
+				return fmt.Errorf("%s: statement %q: %w", tp.trig.Key(), tp.stmts[si].stmt.String(), err)
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// captureGroupLocked folds the batched path's per-view deltas into the
+// subscription hub's capture accumulators — the batched path feeds
+// subscribers from the very deltas it merged into the views, with no extra
+// evaluation. Callers hold e.mu.
+func (e *Engine) captureGroupLocked(deltas map[string]*gmr.Ranged) {
+	if !e.capturing {
+		return
+	}
+	for name, rd := range deltas {
+		c := e.capture[name]
+		if c == nil {
+			continue
+		}
+		for p := 0; p < rd.NumParts(); p++ {
+			c.MergeInto(rd.Part(p), 1)
+		}
+	}
+}
+
+// splitChunks cuts total rows into at most n contiguous [lo, hi) ranges.
+// The first total%n ranges carry one extra row, so no range is ever empty
+// and sizes differ by at most one — in particular a total just above the
+// parallelism gate (2*shards) still yields balanced chunks rather than a
+// degenerate trailing sliver.
+func splitChunks(total, n int) [][2]int {
+	if n > total {
+		n = total
+	}
+	if n <= 0 {
+		return nil
+	}
+	base, rem := total/n, total%n
+	out := make([][2]int, 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
 }
 
 // stmtDelta evaluates one general (non-scalar) statement for one event
 // through the interpreter and accumulates the resulting target-key deltas.
 // It mirrors the key binding semantics of the sequential execute path: keys
 // bound by the trigger environment win over result columns of the same name.
-func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, tuple types.Tuple, acc *gmr.GMR) error {
+func (e *Engine) stmtDelta(sp *stmtPlan, env types.Env, tuple types.Tuple, acc deltaAcc) error {
 	res := agca.Eval(sp.stmt.RHS, e, env)
 	schema := res.Schema()
 	cols := make([]int, len(sp.keyArg))

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -43,6 +44,86 @@ func newEngineFor(t *testing.T, spec workload.Spec, mode compiler.Mode) *engine.
 // replay produces. This is the correctness property behind the batch
 // pipeline's conflict analysis: commuting groups may be reordered and their
 // deltas summed, conflicting groups must fall back to sequential order.
+// TestColumnarBlockEquivalence cross-checks the three executions of a batched
+// window — the columnar block path, the row-at-a-time compiled path
+// (SetColumnar(false)), and the interpreter — over every workload query, a
+// grid of batch sizes and shard counts, and a shuffled stream prefix, and
+// asserts exact view equivalence against a sequential interpreter baseline.
+// This is the correctness property behind the block lowering: transposing a
+// commutative group into columns, running type-specialized loops over row
+// chunks, and merging hash-range-partitioned deltas must be observationally
+// identical to per-event interpretation.
+func TestColumnarBlockEquivalence(t *testing.T) {
+	for qi, spec := range workload.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			events := spec.Stream(0.1, 1)
+			if len(events) > maxEquivEvents {
+				events = events[:maxEquivEvents]
+			}
+			if len(events) == 0 {
+				t.Skip("empty stream at this scale")
+			}
+			// Shuffle so block building and hash-range routing see an
+			// adversarial interleaving, not the generator's relation order.
+			rng := rand.New(rand.NewSource(int64(qi+1) * 7919))
+			rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+
+			base := newEngineFor(t, spec, compiler.ModeDBToaster)
+			base.SetExecMode(engine.ExecInterp)
+			deadline := time.Now().Add(seqBudget)
+			processed := 0
+			for i, ev := range events {
+				if err := base.Apply(ev); err != nil {
+					t.Fatalf("interpreter apply event %d: %v", i, err)
+				}
+				processed++
+				if time.Now().After(deadline) {
+					break
+				}
+			}
+			events = events[:processed]
+
+			for _, cfg := range []struct{ batch, shards int }{
+				{1, 1}, {7, 1}, {64, 1}, {256, 1},
+				{1, 4}, {7, 4}, {64, 4}, {256, 4},
+				{7, 8}, {64, 8}, {256, 8},
+			} {
+				t.Run(fmt.Sprintf("batch=%d,shards=%d", cfg.batch, cfg.shards), func(t *testing.T) {
+					for _, path := range []struct {
+						name     string
+						columnar bool
+					}{{"columnar", true}, {"row", false}} {
+						eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+						eng.SetShards(cfg.shards)
+						eng.SetColumnar(path.columnar)
+						for start := 0; start < len(events); start += cfg.batch {
+							end := start + cfg.batch
+							if end > len(events) {
+								end = len(events)
+							}
+							if err := eng.ApplyBatch(engine.NewBatch(events[start:end])); err != nil {
+								t.Fatalf("%s batch apply [%d:%d]: %v", path.name, start, end, err)
+							}
+						}
+						if eng.Events() != base.Events() {
+							t.Errorf("%s processed %d events, interpreter processed %d",
+								path.name, eng.Events(), base.Events())
+						}
+						for name := range base.ViewSizes() {
+							want := base.View(name).Data()
+							got := eng.View(name).Data()
+							if !gmr.Equal(want, got, 1e-6) {
+								t.Errorf("%s path: view %s diverged\ninterp: %v\ngot:    %v",
+									path.name, name, want, got)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 func TestBatchEquivalentToSequential(t *testing.T) {
 	modes := []struct {
 		name string

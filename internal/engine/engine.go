@@ -88,6 +88,10 @@ type Engine struct {
 	// execMode selects compiled executors, the interpreter, or the
 	// run-both-and-compare equivalence check.
 	execMode ExecMode
+	// columnar enables lowering batched windows to columnar blocks (the
+	// default); when off, batched groups run the compiled row executors
+	// event by event.
+	columnar bool
 }
 
 // ExecMode selects how trigger statements are executed.
@@ -149,6 +153,21 @@ func (e *Engine) SetExecMode(m ExecMode) {
 // ExecMode returns the current execution mode.
 func (e *Engine) ExecMode() ExecMode { return e.execMode }
 
+// SetColumnar toggles the columnar block path inside batched windows (on by
+// default). When off, batched groups keep the grouped/sharded structure but
+// evaluate every statement row-at-a-time — the fallback the block path is
+// measured against. Cached plans are rebuilt on next use.
+func (e *Engine) SetColumnar(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.columnar = on
+	e.plans = map[string]*relationPlan{}
+	e.lastRel, e.lastPlan = "", nil
+}
+
+// Columnar reports whether the columnar block path is enabled.
+func (e *Engine) Columnar() bool { return e.columnar }
+
 // ExecStats reports, across the relation plans built so far, how many
 // statements run compiled and how many fell back to the interpreter.
 type ExecStats struct {
@@ -190,6 +209,7 @@ func New(prog *trigger.Program) *Engine {
 		triggers: map[string]*trigger.Trigger{},
 		shards:   runtime.GOMAXPROCS(0),
 		plans:    map[string]*relationPlan{},
+		columnar: true,
 	}
 	for i := range prog.Maps {
 		m := prog.Maps[i]

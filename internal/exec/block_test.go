@@ -1,0 +1,235 @@
+package exec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/exec"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+// randomBlock builds an event block (and the matching tuples) with columns
+// price(float), qty(int), tag(string), and a deliberately mixed fourth
+// column, so typed and generic column paths are both exercised.
+func randomBlock(rng *rand.Rand, n int, mixed bool) (*exec.Block, []types.Tuple) {
+	b := exec.NewBlock(4)
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		var v4 types.Value
+		if mixed && i%3 == 0 {
+			v4 = types.Float(float64(rng.Intn(5)) + 0.5)
+		} else {
+			v4 = types.Int(int64(rng.Intn(5)))
+		}
+		rows[i] = types.Tuple{
+			types.Float(float64(rng.Intn(200)) + 0.25),
+			types.Int(int64(rng.Intn(50) - 10)),
+			types.Str(fmt.Sprintf("t%d", rng.Intn(4))),
+			v4,
+		}
+		b.Append(rows[i])
+	}
+	b.Seal()
+	return b, rows
+}
+
+// runBlockCase compiles the statement both ways and asserts the block
+// executor's accumulated delta over a whole block equals running the row
+// executor once per event.
+func runBlockCase(t *testing.T, name string, rhs agca.Expr, targetKeys, args []string, db agca.Database) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		bx, err := exec.CompileBlockStatement(rhs, targetKeys, args)
+		if err != nil {
+			t.Fatalf("block compile: %v", err)
+		}
+		rx, err := exec.CompileStatement(rhs, targetKeys, args)
+		if err != nil {
+			t.Fatalf("row compile: %v", err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for _, sealed := range []bool{true, false} {
+			for _, n := range []int{1, 3, 64} {
+				_, rows := randomBlock(rng, n, true)
+				b := exec.NewBlock(len(args))
+				for _, r := range rows {
+					b.Append(r)
+				}
+				if sealed {
+					b.Seal()
+				}
+				want := gmr.New(types.Schema(targetKeys))
+				for _, r := range rows {
+					if err := rx.Run(db, r, want); err != nil {
+						t.Fatalf("row run: %v", err)
+					}
+				}
+				got := gmr.New(types.Schema(targetKeys))
+				if err := bx.RunBlock(db, b, 0, b.Len(), got); err != nil {
+					t.Fatalf("block run: %v", err)
+				}
+				if !gmr.Equal(want, got, 1e-9) {
+					t.Fatalf("sealed=%v n=%d: block delta diverged\nrow:   %v\nblock: %v", sealed, n, want, got)
+				}
+				// Chunked runs over disjoint ranges must add up to the same
+				// delta (this is how the engine's workers split a block).
+				chunked := gmr.New(types.Schema(targetKeys))
+				mid := b.Len() / 2
+				if err := bx.RunBlock(db, b, 0, mid, chunked); err != nil {
+					t.Fatalf("chunk run: %v", err)
+				}
+				if err := bx.RunBlock(db, b, mid, b.Len(), chunked); err != nil {
+					t.Fatalf("chunk run: %v", err)
+				}
+				if !gmr.Equal(want, chunked, 1e-9) {
+					t.Fatalf("sealed=%v n=%d: chunked delta diverged\nrow:     %v\nchunked: %v", sealed, n, want, chunked)
+				}
+			}
+		}
+	})
+}
+
+func blockTestDB() agca.MapDB {
+	m1 := gmr.New(types.Schema{"k"})
+	for k := 0; k < 30; k += 2 {
+		m1.Add(types.Tuple{types.Int(int64(k))}, float64(k)*1.5)
+	}
+	m2 := gmr.New(types.Schema{"a", "b"})
+	m2.Add(types.Tuple{types.Int(3), types.Str("t1")}, 4)
+	m2.Add(types.Tuple{types.Int(7), types.Str("t2")}, -2)
+	return agca.MapDB{"M1": m1, "M2": m2}
+}
+
+func TestBlockExecutorMatchesRowExecutor(t *testing.T) {
+	db := blockTestDB()
+	args := []string{"price", "qty", "tag", "misc"}
+	price, qty, tag := agca.Var{Name: "price"}, agca.Var{Name: "qty"}, agca.Var{Name: "tag"}
+	misc := agca.Var{Name: "misc"}
+
+	// Q1/Q6-shaped: nullary aggregate of a predicated product of columns.
+	runBlockCase(t, "nullary scalar fold",
+		agca.AggSum{E: agca.Prod{Factors: []agca.Expr{
+			agca.Cmp{Op: agca.OpLt, L: qty, R: agca.Const{V: types.Int(30)}},
+			agca.Cmp{Op: agca.OpGe, L: price, R: agca.Const{V: types.Float(20)}},
+			price, qty,
+		}}},
+		nil, args, db)
+
+	// Keyed emission: group by event columns, constants and signs folded.
+	runBlockCase(t, "keyed with const and neg",
+		agca.Prod{Factors: []agca.Expr{
+			agca.Const{V: types.Float(2.5)},
+			agca.Neg{E: price},
+			agca.Cmp{Op: agca.OpNe, L: tag, R: agca.Const{V: types.Str("t3")}},
+		}},
+		[]string{"tag", "qty"}, args, db)
+
+	// Q11a/Q12-shaped: scalar product times a fully arg-bound map probe.
+	runBlockCase(t, "batched probe",
+		agca.Prod{Factors: []agca.Expr{
+			price,
+			agca.MapRef{Name: "M1", Keys: []string{"qty"}},
+		}},
+		nil, args, db)
+
+	runBlockCase(t, "two-key probe keyed",
+		agca.Prod{Factors: []agca.Expr{
+			agca.MapRef{Name: "M2", Keys: []string{"misc", "tag"}},
+			qty,
+		}},
+		[]string{"misc"}, args, db)
+
+	// Sum of terms, each emitted independently.
+	runBlockCase(t, "additive terms",
+		agca.Sum{Terms: []agca.Expr{
+			agca.Prod{Factors: []agca.Expr{price, qty}},
+			agca.Neg{E: agca.Prod{Factors: []agca.Expr{
+				agca.Cmp{Op: agca.OpGt, L: qty, R: agca.Const{V: types.Int(0)}},
+				price,
+			}}},
+		}},
+		nil, args, db)
+
+	// Division and interpreted functions via the row-scalar path.
+	runBlockCase(t, "div and func scalars",
+		agca.Prod{Factors: []agca.Expr{
+			agca.Div{L: price, R: qty},
+			agca.Func{Name: "listmax", Args: []agca.Expr{qty, agca.Const{V: types.Int(1)}}},
+		}},
+		nil, args, db)
+
+	// Column-vs-column comparison and a lift acting as equality filter.
+	runBlockCase(t, "col-col cmp with lift filter",
+		agca.Prod{Factors: []agca.Expr{
+			agca.Cmp{Op: agca.OpLe, L: qty, R: misc},
+			agca.Lift{Var: "tag", E: agca.Const{V: types.Str("t2")}},
+			price,
+		}},
+		[]string{"qty"}, args, db)
+
+	// Constant on the left of the comparison (swapped operand order).
+	runBlockCase(t, "const-left cmp",
+		agca.Prod{Factors: []agca.Expr{
+			agca.Cmp{Op: agca.OpLt, L: agca.Const{V: types.Int(10)}, R: qty},
+			qty,
+		}},
+		nil, args, db)
+}
+
+func TestBlockCompileRejectsRowBindingShapes(t *testing.T) {
+	args := []string{"a", "b"}
+	cases := map[string]struct {
+		rhs  agca.Expr
+		keys []string
+	}{
+		"relation scan": {
+			rhs: agca.Rel{Name: "R", Vars: []string{"a", "x"}},
+		},
+		"unbound lift": {
+			rhs: agca.Lift{Var: "x", E: agca.Var{Name: "a"}},
+		},
+		"exists": {
+			rhs: agca.Exists{E: agca.Var{Name: "a"}},
+		},
+		"key not an argument": {
+			rhs:  agca.Var{Name: "a"},
+			keys: []string{"x"},
+		},
+		"group-by not an argument": {
+			rhs: agca.AggSum{GroupBy: []string{"x"}, E: agca.Rel{Name: "R", Vars: []string{"x"}}},
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := exec.CompileBlockStatement(tc.rhs, tc.keys, args); err == nil {
+				t.Fatalf("expected a CompileError, got success")
+			}
+		})
+	}
+}
+
+func TestBlockSealTypedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, rows := randomBlock(rng, 16, true)
+	if b.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", b.Len())
+	}
+	for i, r := range rows {
+		if !b.Row(i).Equal(r) {
+			t.Fatalf("Row(%d) = %v, want %v", i, b.Row(i), r)
+		}
+	}
+	// Reset must allow rebuilding with different column kinds.
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.Append(types.Tuple{types.Str("x"), types.Int(1), types.Int(2), types.Int(3)})
+	b.Seal()
+	if got := b.Row(0)[0].AsString(); got != "x" {
+		t.Fatalf("rebuilt row = %q", got)
+	}
+}

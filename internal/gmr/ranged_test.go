@@ -1,0 +1,129 @@
+package gmr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+func TestHashedEntryPointsRoundTrip(t *testing.T) {
+	g := New(types.Schema{"a", "b"})
+	tup := types.Tuple{types.Int(7), types.Str("x")}
+	key := tup.AppendKey(nil)
+	h := HashKey(key)
+
+	if got := g.AddEncodedHashed(h, key, tup, 2.5); got != 2.5 {
+		t.Fatalf("AddEncodedHashed = %g, want 2.5", got)
+	}
+	if got := g.GetEncodedHashed(h, key); got != 2.5 {
+		t.Fatalf("GetEncodedHashed = %g, want 2.5", got)
+	}
+	// The hashed entry points must agree with the plain ones.
+	if got := g.GetEncoded(key); got != 2.5 {
+		t.Fatalf("GetEncoded = %g, want 2.5", got)
+	}
+	if got := g.AddEncodedHashed(h, key, tup, -2.5); got != 0 {
+		t.Fatalf("AddEncodedHashed cancel = %g, want 0", got)
+	}
+	if got := g.GetEncodedHashed(h, key); got != 0 {
+		t.Fatalf("GetEncodedHashed after removal = %g, want 0", got)
+	}
+	if got := g.AddEncodedHashed(h, key, tup, 0); got != 0 || g.Len() != 0 {
+		t.Fatalf("zero add changed the GMR: ret=%g len=%d", got, g.Len())
+	}
+}
+
+func TestRangedPartCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewRanged(types.Schema{"k"}, tc.in).NumParts(); got != tc.want {
+			t.Errorf("NewRanged(%d).NumParts() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRangedMatchesPlain checks that a Ranged accumulator holds exactly the
+// contents a plain GMR would, for every part count, and that routing is
+// consistent: each key lands in the part its hash's top bits select.
+func TestRangedMatchesPlain(t *testing.T) {
+	for _, nParts := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("parts=%d", nParts), func(t *testing.T) {
+			schema := types.Schema{"k", "s"}
+			plain := New(schema)
+			ranged := NewRanged(schema, nParts)
+			rng := rand.New(rand.NewSource(42))
+			var key []byte
+			for i := 0; i < 500; i++ {
+				tup := types.Tuple{
+					types.Int(int64(rng.Intn(60))),
+					types.Str(fmt.Sprintf("s%d", rng.Intn(5))),
+				}
+				m := float64(rng.Intn(7) - 3)
+				plain.Add(tup, m)
+				if i%2 == 0 {
+					ranged.Add(tup, m)
+				} else {
+					key = tup.AppendKey(key[:0])
+					ranged.AddEncoded(key, tup, m)
+				}
+			}
+			if got := ranged.Gather(); !Equal(plain, got, 1e-9) {
+				t.Fatalf("Gather mismatch:\nwant %v\ngot  %v", plain, got)
+			}
+			if ranged.Len() != plain.Len() {
+				t.Fatalf("Len = %d, want %d", ranged.Len(), plain.Len())
+			}
+			// Every entry must live in the part its hash routes to.
+			for i := 0; i < ranged.NumParts(); i++ {
+				p := ranged.Part(i)
+				if p == nil {
+					continue
+				}
+				p.ForeachKeyed(func(k []byte, _ types.Tuple, _ float64) {
+					if want := ranged.PartFor(HashKey(k)); want != i {
+						t.Errorf("key %q stored in part %d, routed to %d", k, i, want)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRangedPartwiseMerge exercises the property the engine's lock-free merge
+// relies on: two Ranged stores with the same part count partition keys
+// identically, so merging them part-by-part equals merging them wholesale.
+func TestRangedPartwiseMerge(t *testing.T) {
+	schema := types.Schema{"k"}
+	a := NewRanged(schema, 8)
+	b := NewRanged(schema, 8)
+	want := New(schema)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		tup := types.Tuple{types.Int(int64(rng.Intn(100)))}
+		m := float64(rng.Intn(5) - 2)
+		if i%2 == 0 {
+			a.Add(tup, m)
+		} else {
+			b.Add(tup, m)
+		}
+		want.Add(tup, m)
+	}
+	// Part-by-part combine, with pointer adoption for parts a never touched.
+	for i := 0; i < a.NumParts(); i++ {
+		bp := b.Part(i)
+		if bp == nil {
+			continue
+		}
+		if a.Part(i) == nil {
+			a.SetPart(i, bp)
+			continue
+		}
+		a.Part(i).MergeInto(bp, 1)
+	}
+	if got := a.Gather(); !Equal(want, got, 1e-9) {
+		t.Fatalf("partwise merge mismatch:\nwant %v\ngot  %v", want, got)
+	}
+}

@@ -1,0 +1,98 @@
+package trigger
+
+import (
+	"testing"
+
+	"dbtoaster/internal/agca"
+	"dbtoaster/internal/types"
+)
+
+// vwapProgram mirrors the compiler's VWAP output shape: commuting increment
+// statements maintaining sub-aggregates, then an argument-independent
+// replacement recomputing the result from them, identical across the insert
+// and delete triggers.
+func vwapProgram() *Program {
+	tail := func() Statement {
+		return Statement{TargetMap: "VWAP", Kind: StmtReplace,
+			RHS: agca.Div{
+				L: agca.MapRef{Name: "SUMPV"},
+				R: agca.MapRef{Name: "SUMV"},
+			}}
+	}
+	incs := func(sign int64) []Statement {
+		return []Statement{
+			{TargetMap: "SUMPV", Kind: StmtIncrement,
+				RHS: agca.Mul(agca.Const{V: types.Int(sign)}, agca.Mul(agca.V("p"), agca.V("v")))},
+			{TargetMap: "SUMV", Kind: StmtIncrement,
+				RHS: agca.Mul(agca.Const{V: types.Int(sign)}, agca.V("v"))},
+		}
+	}
+	return &Program{
+		QueryName: "vwapish",
+		ResultMap: "VWAP",
+		Maps: []MapDef{
+			{Name: "VWAP"}, {Name: "SUMPV"}, {Name: "SUMV"},
+		},
+		Triggers: []Trigger{
+			{Relation: "B", Insert: true, Args: []string{"p", "v"},
+				Stmts: append(incs(1), tail())},
+			{Relation: "B", Insert: false, Args: []string{"p", "v"},
+				Stmts: append(incs(-1), tail())},
+		},
+		Relations: map[string][]string{"B": {"p", "v"}},
+	}
+}
+
+func TestRelationBatchClass(t *testing.T) {
+	// Pure commuting increments classify as before.
+	p := testProgram()
+	if got := p.RelationBatchClass("R"); got != BatchCommute {
+		t.Fatalf("RelationBatchClass(R) = %v, want BatchCommute", got)
+	}
+	if got := p.RelationBatchClass("T"); got != BatchNone {
+		t.Fatalf("RelationBatchClass(T) = %v, want BatchNone", got)
+	}
+
+	// The VWAP shape earns the re-evaluation-tail class.
+	p = vwapProgram()
+	if got := p.RelationBatchClass("B"); got != BatchReevalTail {
+		t.Fatalf("RelationBatchClass(B) = %v, want BatchReevalTail", got)
+	}
+	if p.RelationBatchable("B") {
+		t.Fatal("a re-evaluation tail must not report plain batchable")
+	}
+}
+
+func TestRelationBatchClassRejections(t *testing.T) {
+	// A replacement whose RHS mentions a trigger argument depends on which
+	// event runs it.
+	p := vwapProgram()
+	last := len(p.Triggers[0].Stmts) - 1
+	p.Triggers[0].Stmts[last].RHS = agca.V("p")
+	if got := p.RelationBatchClass("B"); got != BatchNone {
+		t.Fatalf("argument-reading replacement: class = %v, want BatchNone", got)
+	}
+
+	// An increment after the replacement breaks the prefix/tail split.
+	p = vwapProgram()
+	stmts := p.Triggers[0].Stmts
+	stmts[1], stmts[2] = stmts[2], stmts[1]
+	if got := p.RelationBatchClass("B"); got != BatchNone {
+		t.Fatalf("increment after replacement: class = %v, want BatchNone", got)
+	}
+
+	// An increment reading a replaced map would observe stale tails
+	// mid-window.
+	p = vwapProgram()
+	p.Triggers[0].Stmts[0].RHS = agca.MapRef{Name: "VWAP"}
+	if got := p.RelationBatchClass("B"); got != BatchNone {
+		t.Fatalf("increment reading replaced map: class = %v, want BatchNone", got)
+	}
+
+	// Diverging tails across the insert and delete triggers.
+	p = vwapProgram()
+	p.Triggers[1].Stmts[last].RHS = agca.MapRef{Name: "SUMV"}
+	if got := p.RelationBatchClass("B"); got != BatchNone {
+		t.Fatalf("diverging tails: class = %v, want BatchNone", got)
+	}
+}

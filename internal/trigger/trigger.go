@@ -42,6 +42,12 @@ type Statement struct {
 	compiled     *exec.Executor
 	compileErr   error
 	compileTried bool
+
+	// blockCompiled caches the columnar block executor the same way (or the
+	// error that keeps the statement row-at-a-time within batched windows).
+	blockCompiled *exec.BlockExecutor
+	blockErr      error
+	blockTried    bool
 }
 
 // Executor returns the compiled executor for the statement under the given
@@ -54,6 +60,20 @@ func (s *Statement) Executor(args []string) (*exec.Executor, error) {
 		s.compiled, s.compileErr = exec.CompileStatement(s.RHS, s.TargetKeys, args)
 	}
 	return s.compiled, s.compileErr
+}
+
+// BlockExecutor returns the columnar block executor for the statement under
+// the given trigger arguments, compiling on first call. A non-nil error means
+// the statement's shape is not block-lowerable (it binds variables per row or
+// emits keys that are not trigger arguments) and batched windows should run
+// it row-at-a-time. Like Executor, compilation is lazy and unsynchronized:
+// call from the engine's driving goroutine.
+func (s *Statement) BlockExecutor(args []string) (*exec.BlockExecutor, error) {
+	if !s.blockTried {
+		s.blockTried = true
+		s.blockCompiled, s.blockErr = exec.CompileBlockStatement(s.RHS, s.TargetKeys, args)
+	}
+	return s.blockCompiled, s.blockErr
 }
 
 // String renders the statement in the paper's notation.
@@ -169,38 +189,102 @@ func (p *Program) EventWriteSet(relation string) map[string]bool {
 	return out
 }
 
+// BatchClass classifies how a window of events on one relation may execute.
+type BatchClass uint8
+
+const (
+	// BatchNone: the triggers do not commute; the engine replays the window
+	// sequentially, one trigger per event (the paper's exact semantics).
+	BatchNone BatchClass = iota
+	// BatchCommute: every statement is an increment and no statement reads a
+	// map the window writes, so per-event deltas depend only on the
+	// pre-window state and can be computed in any order and summed.
+	BatchCommute
+	// BatchReevalTail: the triggers are a commuting increment prefix followed
+	// by argument-independent replacement statements. The increments batch
+	// like BatchCommute; the replacement tail is idempotent in the event (its
+	// right-hand sides mention no trigger arguments, so every event's tail
+	// recomputes the same maps from the same inputs) and runs once per window
+	// after the merged increments — exactly the state the last sequential
+	// tail would have seen. VWAP's trailing "VWAP[] := ..." re-evaluation is
+	// the motivating shape.
+	BatchReevalTail
+)
+
 // RelationBatchable reports whether the triggers of relation commute across a
-// window of events on that relation: every statement must be an increment and
-// no statement may read a map that any statement of the relation's triggers
-// writes. When it holds, the per-event deltas of a window depend only on the
-// pre-window state, so they can be computed against a frozen snapshot and
-// summed — the engine's batched execution path. Replacement statements or
-// read/write overlap force the engine back to sequential per-event order,
-// which preserves the paper's one-trigger-per-event semantics exactly.
+// window of events on that relation (class BatchCommute). Kept as the
+// boolean entry point; RelationBatchClass is the full classification.
 func (p *Program) RelationBatchable(relation string) bool {
+	return p.RelationBatchClass(relation) == BatchCommute
+}
+
+// RelationBatchClass classifies the triggers of relation for batched
+// execution. BatchCommute requires increments only, none reading a map that
+// any trigger of the relation writes (including the base relation itself — a
+// statement scanning it must not batch with its updates). BatchReevalTail
+// additionally allows a trailing run of StmtReplace statements per trigger
+// when (a) every replacement RHS mentions no trigger argument, so the tail
+// computes the same result regardless of which event runs it, (b) no
+// increment reads a replaced map (otherwise mid-window events would observe
+// stale tails), and (c) insert and delete triggers carry identical tails, so
+// the window can run any one of them. Everything else is BatchNone.
+func (p *Program) RelationBatchClass(relation string) BatchClass {
 	writes := p.EventWriteSet(relation)
 	if len(writes) == 0 {
-		return false
+		return BatchNone
 	}
-	// Events on the relation also mutate the relation itself: a statement that
-	// scans the base relation directly must not be batched with its updates.
 	writes[relation] = true
-	for _, t := range p.Triggers {
+	hasReplace := false
+	var tails [][]string // rendered replacement tail of each trigger
+	for ti := range p.Triggers {
+		t := &p.Triggers[ti]
 		if t.Relation != relation {
 			continue
 		}
-		for _, s := range t.Stmts {
-			if s.Kind != StmtIncrement {
-				return false
+		var tail []string
+		for si := range t.Stmts {
+			s := &t.Stmts[si]
+			if s.Kind == StmtReplace {
+				hasReplace = true
+				// The tail may read anything (it runs on the final window
+				// state, like the last sequential re-evaluation would), but
+				// it must not depend on the triggering event.
+				vars := agca.AllVars(s.RHS)
+				for _, a := range t.Args {
+					if vars[a] {
+						return BatchNone
+					}
+				}
+				tail = append(tail, s.String())
+				continue
+			}
+			if len(tail) > 0 {
+				// An increment after a replacement breaks the prefix/tail
+				// split (SortStatements never produces this order).
+				return BatchNone
 			}
 			for _, r := range s.ReadSet() {
 				if writes[r] {
-					return false
+					return BatchNone
 				}
 			}
 		}
+		tails = append(tails, tail)
 	}
-	return true
+	if !hasReplace {
+		return BatchCommute
+	}
+	for _, tl := range tails[1:] {
+		if len(tl) != len(tails[0]) {
+			return BatchNone
+		}
+		for i := range tl {
+			if tl[i] != tails[0][i] {
+				return BatchNone
+			}
+		}
+	}
+	return BatchReevalTail
 }
 
 // SortStatements orders every trigger's statements for correct execution:

@@ -1,13 +1,16 @@
 // Command dbtbench runs the paper's experiments from the command line: the
 // Figure 6/7 refresh-rate matrix, the Figure 8-10 traces, the Figure 11
-// scaling series, and the Figure 2 compilation table.
+// scaling series, the Figure 2 compilation table, and the engine-layer
+// experiments added since (batch pipeline, executors, serving, durability).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dbtoaster/internal/bench"
@@ -17,21 +20,46 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness")
-	queries := flag.String("queries", "", "comma-separated query names (default: all for the experiment)")
-	scale := flag.Float64("scale", 0.25, "stream scale factor")
-	budget := flag.Duration("budget", 2*time.Second, "per-cell time budget")
-	seed := flag.Int64("seed", 1, "stream generator seed")
-	batch := flag.Int("batch", 1, "events per batch window (>1 uses the shard-parallel batch pipeline)")
-	shards := flag.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
-	execFlag := flag.String("exec", "compiled", "statement executors: compiled | interp | verify")
-	readers := flag.Int("readers", 2, "concurrent snapshot readers (read_freshness experiment)")
-	guard := flag.String("guard", "", "comma-separated queries the batch_scaling guard enforces (empty = report only)")
-	flag.Parse()
+	// Single exit point: every error path returns through run, so deferred
+	// cleanups (WAL closes, temp directories) actually execute.
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbtbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time")
+	queries := fs.String("queries", "", "comma-separated query names (default: all for the experiment)")
+	scale := fs.Float64("scale", 0.25, "stream scale factor")
+	budget := fs.Duration("budget", 2*time.Second, "per-cell time budget")
+	seed := fs.Int64("seed", 1, "stream generator seed")
+	batch := fs.Int("batch", 1, "events per batch window (>1 uses the shard-parallel batch pipeline)")
+	shards := fs.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
+	execFlag := fs.String("exec", "compiled", "statement executors: compiled | interp | verify")
+	readers := fs.Int("readers", 2, "concurrent snapshot readers (read_freshness experiment)")
+	guard := fs.String("guard", "", "comma-separated queries the batch_scaling guard enforces (empty = report only)")
+	walFlag := fs.String("wal", "", "log directory for the durability experiments (empty = per-cell temp dirs; \"mem\" = in-memory filesystem for wal_overhead, isolating the software path from the device)")
+	ckptEvery := fs.Uint64("ckpt-every", 0, "checkpoint interval in events for recovery_time (0 = sweep log-only, coarse and fine)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM: flush and close any armed write-ahead logs, then exit —
+	// an interrupted benchmark must not leave a log dying mid-write.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		bench.Shutdown()
+		fmt.Fprintf(os.Stderr, "dbtbench: interrupted (%v), write-ahead logs closed\n", s)
+		os.Exit(130)
+	}()
 
 	execMode, err := engine.ParseExecMode(*execFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Budget: *budget, BatchSize: *batch, Shards: *shards, Exec: execMode}
 	pick := func(def []string) []string {
@@ -55,12 +83,12 @@ func main() {
 		for _, q := range pick(defaults[*experiment]) {
 			spec, ok := workload.Get(q)
 			if !ok {
-				log.Fatalf("unknown query %q", q)
+				return fmt.Errorf("unknown query %q", q)
 			}
 			for _, sys := range []bench.System{{Name: "DBToaster", Mode: compiler.ModeDBToaster}, {Name: "IVM", Mode: compiler.ModeIVM}} {
 				points, err := bench.Trace(spec, sys, opts, 10)
 				if err != nil {
-					log.Fatalf("%s/%s: %v", q, sys.Name, err)
+					return fmt.Errorf("%s/%s: %w", q, sys.Name, err)
 				}
 				fmt.Print(bench.FormatTrace(q, sys.Name, points))
 			}
@@ -70,11 +98,11 @@ func main() {
 		for _, q := range pick([]string{"Q1", "Q3", "Q6", "Q11a", "Q12", "Q17a", "Q18a"}) {
 			spec, ok := workload.Get(q)
 			if !ok {
-				log.Fatalf("unknown query %q", q)
+				return fmt.Errorf("unknown query %q", q)
 			}
 			points, err := bench.Scaling(spec, scales, opts)
 			if err != nil {
-				log.Fatalf("%s: %v", q, err)
+				return fmt.Errorf("%s: %w", q, err)
 			}
 			fmt.Print(bench.FormatScaling(q, points))
 		}
@@ -90,7 +118,7 @@ func main() {
 		fmt.Print(bench.FormatBatchScalingTable(results, shardCounts))
 		if *guard != "" {
 			if err := bench.CheckBatchScaling(results, strings.Split(*guard, ","), shardCounts[len(shardCounts)-1]); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("batch scaling guard passed for %s\n", *guard)
 		}
@@ -106,14 +134,36 @@ func main() {
 		results := bench.MemoryProfile(pick([]string{"Q1", "Q3", "Q6", "Q12", "Q18a", "VWAP", "MDDB1"}), opts)
 		fmt.Println("GMR storage — flat-store view accounting vs runtime heap (compiled replay):")
 		fmt.Print(bench.FormatMemoryTable(results))
+	case "wal_overhead":
+		results := bench.WalOverhead(pick([]string{"Q1", "Q6", "VWAP"}), opts, *walFlag)
+		medium := "real disk"
+		if *walFlag == "mem" {
+			medium = "in-memory fs"
+		}
+		fmt.Printf("Write-ahead log — batched events/s memory-only vs logged, by sync policy (log-only, %s):\n", medium)
+		fmt.Print(bench.FormatWalTable(results))
+	case "recovery_time":
+		sweep := []uint64{0, 50000, 10000}
+		if *ckptEvery > 0 {
+			sweep = []uint64{*ckptEvery}
+		}
+		results := bench.RecoveryTime(pick([]string{"Q1", "Q6", "VWAP"}), sweep, opts, *walFlag)
+		fmt.Println("Recovery — durable replay then crash-free recovery, by checkpoint interval (0 = log only):")
+		fmt.Print(bench.FormatRecoveryTable(results))
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("recovery_time %s ckpt=%d: %w", r.Query, r.CkptEvery, r.Err)
+			}
+		}
 	case "fig2_features":
 		infos, err := bench.CompileAll()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("Figure 2 — workload features and compiled program shape:")
 		fmt.Print(bench.FormatCompileTable(infos))
 	default:
-		log.Fatalf("unknown experiment %q", *experiment)
+		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	return nil
 }

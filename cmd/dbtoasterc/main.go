@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,22 +30,30 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "dbtoaster", "compilation strategy: dbtoaster, ivm, rep, naive")
-	useSQL := flag.Bool("sql", false, "arguments are SQL files to compile ('-' reads stdin)")
-	list := flag.Bool("list", false, "list the available workload queries and exit")
-	flag.Parse()
+	// Single exit point: every error path returns through run.
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtoasterc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbtoasterc", flag.ContinueOnError)
+	mode := fs.String("mode", "dbtoaster", "compilation strategy: dbtoaster, ivm, rep, naive")
+	useSQL := fs.Bool("sql", false, "arguments are SQL files to compile ('-' reads stdin)")
+	list := fs.Bool("list", false, "list the available workload queries and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, group := range []string{"tpch", "finance", "mddb"} {
 			fmt.Printf("%s: %s\n", group, strings.Join(workload.Names(group), " "))
 		}
-		return
+		return nil
 	}
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbtoasterc [-mode dbtoaster|ivm|rep|naive] -sql <file.sql|-> ...")
-		fmt.Fprintln(os.Stderr, "       dbtoasterc [-mode dbtoaster|ivm|rep|naive] <query-name> ...")
-		fmt.Fprintln(os.Stderr, "       dbtoasterc -list")
-		os.Exit(2)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("no queries given\nusage: dbtoasterc [-mode dbtoaster|ivm|rep|naive] -sql <file.sql|-> ...\n       dbtoasterc [-mode dbtoaster|ivm|rep|naive] <query-name> ...\n       dbtoasterc -list")
 	}
 	var m compiler.Mode
 	switch strings.ToLower(*mode) {
@@ -59,29 +66,30 @@ func main() {
 	case "naive":
 		m = compiler.ModeNaive
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	if *useSQL {
-		for _, path := range flag.Args() {
+		for _, path := range fs.Args() {
 			if err := compileSQLFile(path, m); err != nil {
-				log.Fatalf("%s: %v", path, err)
+				return fmt.Errorf("%s: %w", path, err)
 			}
 		}
-		return
+		return nil
 	}
-	for _, name := range flag.Args() {
+	for _, name := range fs.Args() {
 		spec, ok := workload.Get(name)
 		if !ok {
-			log.Fatalf("unknown query %q (use -list, or -sql for SQL files)", name)
+			return fmt.Errorf("unknown query %q (use -list, or -sql for SQL files)", name)
 		}
 		fmt.Printf("-- query %s (AGCA): %s\n", name, agca.String(spec.Query.Expr))
 		prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.OptionsFor(m))
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println(prog.String())
 	}
+	return nil
 }
 
 // compileSQLFile parses one SQL script and prints the trigger program of

@@ -14,8 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"dbtoaster/internal/compiler"
@@ -37,21 +39,26 @@ type panel struct {
 	inSync    bool
 }
 
-func runPanel(name string, events, batchSize int, seed int64) panel {
+// runPanel replays the agenda for one query while a subscriber keeps the
+// panel's local copy fresh. A close of stop between maintenance windows
+// cancels the subscription, reaps the consumer goroutine and aborts — the
+// graceful-shutdown path for SIGINT/SIGTERM.
+func runPanel(name string, events, batchSize int, seed int64, stop <-chan struct{}) (panel, error) {
+	var p panel
 	spec, ok := workload.Get(name)
 	if !ok {
-		log.Fatalf("unknown query %s", name)
+		return p, fmt.Errorf("unknown query %s", name)
 	}
 	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.DefaultOptions())
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		return p, fmt.Errorf("%s: %w", name, err)
 	}
 	eng := engine.New(prog)
 	for n, data := range spec.Statics() {
 		eng.LoadStatic(n, data)
 	}
 	if err := eng.Init(); err != nil {
-		log.Fatal(err)
+		return p, fmt.Errorf("%s: %w", name, err)
 	}
 	stream := spec.Stream(1.0, seed)
 	if len(stream) > events {
@@ -65,9 +72,9 @@ func runPanel(name string, events, batchSize int, seed int64) panel {
 	// tolerated lag and rely on coalescing instead).
 	sub, err := eng.Subscribe("", engine.SubscribeOptions{Buffer: len(stream)/batchSize + 2})
 	if err != nil {
-		log.Fatalf("%s: subscribe: %v", name, err)
+		return p, fmt.Errorf("%s: subscribe: %w", name, err)
 	}
-	p := panel{query: name, local: gmr.New(types.Schema(eng.View(prog.ResultMap).Keys()))}
+	p = panel{query: name, local: gmr.New(types.Schema(eng.View(prog.ResultMap).Keys()))}
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
@@ -83,8 +90,17 @@ func runPanel(name string, events, batchSize int, seed int64) panel {
 
 	start := time.Now()
 	for _, window := range workload.Batches(stream, batchSize) {
+		select {
+		case <-stop:
+			sub.Cancel()
+			consumer.Wait()
+			return p, fmt.Errorf("%s: interrupted", name)
+		default:
+		}
 		if err := eng.ApplyBatch(engine.NewBatch(window)); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			sub.Cancel()
+			consumer.Wait()
+			return p, fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	p.rate = float64(len(stream)) / time.Since(start).Seconds()
@@ -96,19 +112,45 @@ func runPanel(name string, events, batchSize int, seed int64) panel {
 	snap := eng.Acquire()
 	p.events = snap.Events()
 	p.inSync = gmr.Equal(p.local, snap.Result(), 1e-6)
-	return p
+	return p, nil
 }
 
 func main() {
-	events := flag.Int("events", 3000, "number of agenda events to replay")
-	batch := flag.Int("batch", 64, "events per maintenance batch (one change-stream publication each)")
-	seed := flag.Int64("seed", 3, "stream generator seed")
-	flag.Parse()
+	// Single exit point: every error path — including an interrupt — returns
+	// through run, so subscriptions are always cancelled and their consumer
+	// goroutines reaped before the process exits.
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tpch_dashboard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpch_dashboard", flag.ContinueOnError)
+	events := fs.Int("events", 3000, "number of agenda events to replay")
+	batch := fs.Int("batch", 64, "events per maintenance batch (one change-stream publication each)")
+	seed := fs.Int64("seed", 3, "stream generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM close stop; the running panel notices at its next
+	// maintenance window and shuts its subscription down cleanly.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
 
 	fmt.Printf("%-6s %12s %12s %8s %10s %10s %8s\n",
 		"Query", "events/s", "result rows", "batches", "coalesced", "maintained", "in-sync")
 	for _, q := range []string{"Q1", "Q3", "Q12", "Q18a"} {
-		p := runPanel(q, *events, *batch, *seed)
+		p, err := runPanel(q, *events, *batch, *seed, stop)
+		if err != nil {
+			return err
+		}
 		sync := "yes"
 		if !p.inSync {
 			sync = "NO"
@@ -116,4 +158,5 @@ func main() {
 		fmt.Printf("%-6s %12.0f %12d %8d %10d %10d %8s\n",
 			p.query, p.rate, p.local.Len(), p.batches, p.coalesced, p.events, sync)
 	}
+	return nil
 }

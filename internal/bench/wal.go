@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/wal"
+	"dbtoaster/internal/workload"
+)
+
+// This file holds the durability experiments: write-path overhead per sync
+// policy (wal_overhead) and recovery time as a function of log length and
+// checkpoint interval (recovery_time). Results are recorded in BENCH_wal.json.
+
+// activeDurable tracks engines with an armed WAL so an interrupt handler can
+// flush and close them before the process exits (see Shutdown).
+var (
+	activeMu      sync.Mutex
+	activeDurable = map[*engine.Engine]struct{}{}
+)
+
+func trackDurable(e *engine.Engine) {
+	activeMu.Lock()
+	activeDurable[e] = struct{}{}
+	activeMu.Unlock()
+}
+
+func untrackDurable(e *engine.Engine) {
+	activeMu.Lock()
+	delete(activeDurable, e)
+	activeMu.Unlock()
+}
+
+// Shutdown flushes and closes the write-ahead log of every engine a running
+// experiment currently has armed. Command main loops call it from their
+// SIGINT/SIGTERM handler so an interrupted benchmark leaves cleanly closed
+// logs instead of dying mid-write.
+func Shutdown() {
+	activeMu.Lock()
+	engines := make([]*engine.Engine, 0, len(activeDurable))
+	for e := range activeDurable {
+		engines = append(engines, e)
+	}
+	activeMu.Unlock()
+	for _, e := range engines {
+		_ = e.CloseDurability()
+	}
+}
+
+// WalResult is one cell of the wal_overhead experiment: a batched replay with
+// the given durability configuration.
+type WalResult struct {
+	Query       string
+	Config      string // "off" or the sync policy name
+	Events      int
+	Elapsed     time.Duration
+	RefreshRate float64
+	LogBytes    int64 // bytes in the log directory when the cell finished
+	Err         error
+}
+
+// walDir resolves the log directory for one cell: a subdirectory of base, or
+// a fresh temp directory when base is empty. The caller removes it.
+func walDir(base, cell string) (string, error) {
+	if base == "" {
+		return os.MkdirTemp("", "dbtbench-wal-")
+	}
+	dir := filepath.Join(base, cell)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+func dirBytes(dir string) int64 {
+	var total int64
+	_ = filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// WalOverhead measures the write-path cost of the log: each query is replayed
+// through ApplyBatch (cycling the stream until the budget expires, like
+// BatchScaling) memory-only and then with the WAL armed under each sync
+// policy, log-only (no checkpoints) so the measurement isolates the append +
+// fsync path. Logs are written to real disk — the fsync cost under
+// SyncEachCommit is the point of the comparison — unless base is "mem", which
+// logs through an in-memory wal.FaultFS instead: that isolates the software
+// path (encode, copy, pipeline handoff) from the device, separating "the log
+// code is slow" from "this disk is slow" when reading results from modest
+// hosts.
+// walReps is the repetition count behind each wal_overhead cell; the best
+// repetition is reported.
+const walReps = 3
+
+func WalOverhead(queries []string, opts Options, base string) []WalResult {
+	memFS := base == "mem"
+	if opts.BatchSize <= 1 {
+		opts.BatchSize = 256
+	}
+	configs := []struct {
+		name   string
+		armed  bool
+		policy wal.SyncPolicy
+	}{
+		{"off", false, wal.SyncNone},
+		{"none", true, wal.SyncNone},
+		{"interval", true, wal.SyncInterval},
+		{"commit", true, wal.SyncEachCommit},
+	}
+	measure := func(q string, spec workload.Spec, cfg struct {
+		name   string
+		armed  bool
+		policy wal.SyncPolicy
+	}) WalResult {
+		res := WalResult{Query: q, Config: cfg.name}
+		eng, events, err := setup(spec, compiler.ModeDBToaster, opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		var dir string
+		var ffs *wal.FaultFS
+		if cfg.armed {
+			dopts := engine.DurabilityOptions{Sync: cfg.policy}
+			if memFS {
+				ffs = wal.NewFaultFS()
+				dopts.Dir, dopts.FS = "wal", ffs
+			} else {
+				dir, err = walDir(base, fmt.Sprintf("%s-%s", strings.ToLower(q), cfg.name))
+				if err != nil {
+					res.Err = err
+					return res
+				}
+				dopts.Dir = dir
+			}
+			if err := eng.SetDurability(dopts); err != nil {
+				res.Err = err
+				return res
+			}
+			trackDurable(eng)
+		}
+		// The in-memory mode runs a fixed event count rather than a time
+		// budget: the buffered log lives on the Go heap, so an open-ended
+		// replay turns the measurement into a GC benchmark. Fixed work
+		// keeps every cell comparable at a few tens of MB of log.
+		maxEvents := 0
+		if memFS {
+			maxEvents = 1 << 19
+		}
+		batches := workload.Batches(events, opts.BatchSize)
+		start := time.Now()
+		deadline := time.Time{}
+		if opts.Budget > 0 {
+			deadline = start.Add(opts.Budget)
+		}
+	replay:
+		for {
+			for _, batch := range batches {
+				if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+					res.Err = fmt.Errorf("events %d..%d: %w", res.Events, res.Events+len(batch)-1, err)
+					break replay
+				}
+				res.Events += len(batch)
+				if maxEvents > 0 && res.Events >= maxEvents {
+					break replay
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break replay
+				}
+			}
+			if deadline.IsZero() && maxEvents == 0 {
+				break
+			}
+		}
+		res.Elapsed = time.Since(start)
+		if cfg.armed {
+			if err := eng.CloseDurability(); err != nil && res.Err == nil {
+				res.Err = err
+			}
+			untrackDurable(eng)
+			if memFS {
+				if names, err := ffs.List("wal"); err == nil {
+					for _, n := range names {
+						res.LogBytes += ffs.DurableSize("wal/" + n)
+					}
+				}
+			} else {
+				res.LogBytes = dirBytes(dir)
+				os.RemoveAll(dir)
+			}
+		}
+		if res.Elapsed > 0 {
+			res.RefreshRate = float64(res.Events) / res.Elapsed.Seconds()
+		}
+		return res
+	}
+
+	var out []WalResult
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			out = append(out, WalResult{Query: q, Config: "off", Err: fmt.Errorf("unknown query %q", q)})
+			continue
+		}
+		for _, cfg := range configs {
+			// Best of walReps repetitions: each cell is a fresh engine and a
+			// fresh log, so the best run is the one least disturbed by the
+			// scheduler and GC — the standard throughput-measurement guard on
+			// busy or single-core hosts.
+			best := measure(q, spec, cfg)
+			for rep := 1; best.Err == nil && rep < walReps; rep++ {
+				if r := measure(q, spec, cfg); r.Err == nil && r.RefreshRate > best.RefreshRate {
+					best = r
+				}
+			}
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// FormatWalTable renders the wal_overhead experiment: one row per query, one
+// column per durability configuration, entries in events per second, plus the
+// interval-sync rate relative to memory-only (the acceptance metric: it must
+// stay within 15% on Q1/Q6/VWAP).
+func FormatWalTable(results []WalResult) string {
+	configs := []string{"off", "none", "interval", "commit"}
+	byQuery := map[string]map[string]WalResult{}
+	var queries []string
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]WalResult{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.Config] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Query")
+	for _, c := range configs {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	fmt.Fprintf(&b, " %12s %10s\n", "interval/off", "logMB/s")
+	for _, q := range queries {
+		cells := byQuery[q]
+		fmt.Fprintf(&b, "%-10s", q)
+		for _, c := range configs {
+			r := cells[c]
+			if r.Err != nil {
+				fmt.Fprintf(&b, " %12s", "error")
+			} else {
+				fmt.Fprintf(&b, " %12.0f", r.RefreshRate)
+			}
+		}
+		off, iv := cells["off"], cells["interval"]
+		if off.Err == nil && iv.Err == nil && off.RefreshRate > 0 {
+			fmt.Fprintf(&b, " %11.2f%%", 100*iv.RefreshRate/off.RefreshRate)
+		} else {
+			fmt.Fprintf(&b, " %12s", "-")
+		}
+		if iv.Err == nil && iv.Elapsed > 0 {
+			fmt.Fprintf(&b, " %10.1f", float64(iv.LogBytes)/1024/1024/iv.Elapsed.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RecoveryResult is one cell of the recovery_time experiment: one durable
+// replay at a checkpoint interval, then a crash-free recovery of the same
+// directory into a fresh engine.
+type RecoveryResult struct {
+	Query          string
+	CkptEvery      uint64 // 0 = log only, replay everything
+	Events         int    // events written (and committed) by the original run
+	WriteElapsed   time.Duration
+	LogBytes       int64 // bytes on disk at recovery time (segments + checkpoints)
+	HadCheckpoint  bool
+	ReplayedEvents uint64 // log-tail events recovery re-executed
+	RecoverElapsed time.Duration
+	ReplayRate     float64 // replayed events per second of recovery time
+	Err            error
+}
+
+// RecoveryTime measures recovery as a function of checkpoint interval: each
+// query's stream is replayed once (batched, durable, synchronous checkpoints
+// so checkpoint cost lands in WriteElapsed deterministically) at each interval
+// in ckptEvery — 0 means log-only, so recovery replays the entire stream —
+// and the directory is then recovered into a fresh engine under a timer. The
+// interval sweep makes the tradeoff visible: shorter intervals cost more at
+// write time and bound replay length; log-only writes fastest and recovers
+// slowest.
+func RecoveryTime(queries []string, ckptEvery []uint64, opts Options, base string) []RecoveryResult {
+	if opts.BatchSize <= 1 {
+		opts.BatchSize = 256
+	}
+	var out []RecoveryResult
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			out = append(out, RecoveryResult{Query: q, Err: fmt.Errorf("unknown query %q", q)})
+			continue
+		}
+		for _, every := range ckptEvery {
+			res := RecoveryResult{Query: q, CkptEvery: every}
+			eng, events, err := setup(spec, compiler.ModeDBToaster, opts)
+			if err != nil {
+				res.Err = err
+				out = append(out, res)
+				continue
+			}
+			dir, err := walDir(base, fmt.Sprintf("%s-ckpt%d", strings.ToLower(q), every))
+			if err != nil {
+				res.Err = err
+				out = append(out, res)
+				continue
+			}
+			if err := eng.SetDurability(engine.DurabilityOptions{
+				Dir: dir, Sync: wal.SyncInterval,
+				CheckpointEvery: every, SynchronousCheckpoints: true,
+			}); err != nil {
+				res.Err = err
+				out = append(out, res)
+				continue
+			}
+			trackDurable(eng)
+			batches := workload.Batches(events, opts.BatchSize)
+			start := time.Now()
+			deadline := time.Time{}
+			if opts.Budget > 0 {
+				deadline = start.Add(opts.Budget)
+			}
+		replay:
+			for {
+				for _, batch := range batches {
+					if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+						res.Err = fmt.Errorf("events %d..%d: %w", res.Events, res.Events+len(batch)-1, err)
+						break replay
+					}
+					res.Events += len(batch)
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						break replay
+					}
+				}
+				if deadline.IsZero() {
+					break
+				}
+			}
+			closeErr := eng.CloseDurability()
+			untrackDurable(eng)
+			res.WriteElapsed = time.Since(start)
+			if res.Err == nil {
+				res.Err = closeErr
+			}
+			if res.Err != nil {
+				os.RemoveAll(dir)
+				out = append(out, res)
+				continue
+			}
+			res.LogBytes = dirBytes(dir)
+
+			fresh, _, err := setup(spec, compiler.ModeDBToaster, opts)
+			if err != nil {
+				res.Err = err
+				os.RemoveAll(dir)
+				out = append(out, res)
+				continue
+			}
+			recStart := time.Now()
+			stats, err := fresh.Recover(engine.DurabilityOptions{Dir: dir})
+			res.RecoverElapsed = time.Since(recStart)
+			if err != nil {
+				res.Err = err
+			} else {
+				res.HadCheckpoint = stats.HadCheckpoint
+				res.ReplayedEvents = stats.ReplayedEvents
+				if s := res.RecoverElapsed.Seconds(); s > 0 {
+					res.ReplayRate = float64(stats.ReplayedEvents) / s
+				}
+			}
+			os.RemoveAll(dir)
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// FormatRecoveryTable renders the recovery_time experiment.
+func FormatRecoveryTable(results []RecoveryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %9s %10s %9s %6s %10s %12s %12s\n",
+		"Query", "ckptEvery", "events", "write-ms", "logKB", "ckpt", "replayed", "recover-ms", "replay/s")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-10s %10d error: %v\n", r.Query, r.CkptEvery, r.Err)
+			continue
+		}
+		ckpt := "-"
+		if r.HadCheckpoint {
+			ckpt = "yes"
+		}
+		fmt.Fprintf(&b, "%-10s %10d %9d %10.1f %9.1f %6s %10d %12.2f %12.0f\n",
+			r.Query, r.CkptEvery, r.Events,
+			float64(r.WriteElapsed.Microseconds())/1000,
+			float64(r.LogBytes)/1024, ckpt, r.ReplayedEvents,
+			float64(r.RecoverElapsed.Microseconds())/1000, r.ReplayRate)
+	}
+	return b.String()
+}

@@ -256,6 +256,16 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 // One epoch is published per batch: snapshot readers and subscribers observe
 // batch boundaries, never a half-applied window.
 func (e *Engine) ApplyBatch(b *Batch) error {
+	if e.dur != nil {
+		// Durable engines log the whole window as one record ahead of
+		// executing it (durable.go) — group commit at batch granularity.
+		return e.applyBatchDurable(b)
+	}
+	return e.applyBatchLogged(b)
+}
+
+// applyBatchLogged is ApplyBatch after the durability tee (or without one).
+func (e *Engine) applyBatchLogged(b *Batch) error {
 	if !e.serveActive.Load() {
 		return e.applyBatchGroups(b, false)
 	}

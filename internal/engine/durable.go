@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/wal"
+)
+
+// This file wires the write-ahead log and checkpointer (package wal) into the
+// engine's write side.
+//
+// With durability armed (SetDurability), every Apply/ApplyBatch tees its
+// events through the log ahead of execution: the record is appended (and, per
+// sync policy, fsynced) first, and only then executed — so any state a crash
+// can lose is state the log can replay, and any event the log rejects is an
+// event the views never saw. Every stream event is logged, including events
+// on relations the program ignores, so the logged-event count (the LSN) maps
+// one-to-one onto a prefix of the input stream.
+//
+// Checkpoints bound replay: every CheckpointEvery logged events, the writer
+// pins a snapshot (Engine.Acquire — O(#views)), rotates the log segment, and
+// a background goroutine serializes each view's frozen flat store verbatim
+// (gmr.AppendFlat) and publishes the checkpoint, concurrent with continued
+// writes. Recovery (Engine.Recover) loads the newest valid checkpoint's
+// images back as the view stores and replays the committed log tail through
+// the normal Apply/ApplyBatch paths — each record the way it was originally
+// committed, so float accumulation orders match and recovered state is
+// byte-equal to an uninterrupted run at the same committed event count.
+
+// DurabilityOptions configures the log, checkpointer and recovery source.
+type DurabilityOptions struct {
+	// Dir is the log/checkpoint directory.
+	Dir string
+	// FS is the filesystem to write through; nil means the real disk. Tests
+	// inject wal.FaultFS here.
+	FS wal.FS
+	// Sync selects the group-commit sync policy (default: sync each commit).
+	Sync wal.SyncPolicy
+	// SyncInterval is the group-commit window for wal.SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointEvery is the number of logged events between checkpoints;
+	// 0 disables periodic checkpoints (log-only durability, unbounded replay).
+	CheckpointEvery uint64
+	// SynchronousCheckpoints serializes and writes checkpoints on the writer
+	// thread instead of a background goroutine. Benchmarks and crash tests
+	// use it to make checkpoint timing deterministic.
+	SynchronousCheckpoints bool
+}
+
+// durability is the engine's armed durability state.
+type durability struct {
+	opts DurabilityOptions
+	fs   wal.FS
+	log  *wal.Log
+	// lastCkpt is the LSN of the newest checkpoint this incarnation started
+	// (writer-thread only).
+	lastCkpt uint64
+	// ckptBusy is set while a background checkpoint is in flight; a due
+	// checkpoint is skipped rather than queued when the previous one is still
+	// writing.
+	ckptBusy atomic.Bool
+	wg       sync.WaitGroup
+	// errMu/err hold a background checkpoint failure until the write path can
+	// surface it.
+	errMu sync.Mutex
+	err   error
+	// evBuf is the writer-thread scratch for converting a batch's events.
+	evBuf []wal.Event
+}
+
+func (d *durability) setErr(err error) {
+	d.errMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+}
+
+func (d *durability) takeErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	err := d.err
+	d.err = nil
+	return err
+}
+
+// SetDurability arms write-ahead logging and periodic checkpoints. Call it
+// from the writer goroutine before streaming events — on a fresh engine, or
+// on one that just recovered with Recover (the log then resumes at the
+// recovered LSN, in a new segment). Close with CloseDurability.
+func (e *Engine) SetDurability(o DurabilityOptions) error {
+	if e.dur != nil {
+		return fmt.Errorf("engine: durability already armed")
+	}
+	fs := o.FS
+	if fs == nil {
+		fs = wal.DiskFS()
+	}
+	log, err := wal.Open(wal.Options{Dir: o.Dir, FS: fs, Policy: o.Sync, Interval: o.SyncInterval}, e.recoveredLSN)
+	if err != nil {
+		return err
+	}
+	e.dur = &durability{opts: o, fs: fs, log: log, lastCkpt: e.recoveredLSN}
+	return nil
+}
+
+// CloseDurability flushes and closes the log, waiting for an in-flight
+// checkpoint to finish. The engine keeps running memory-only afterwards.
+func (e *Engine) CloseDurability() error {
+	d := e.dur
+	if d == nil {
+		return nil
+	}
+	e.dur = nil
+	d.wg.Wait()
+	err := d.log.Close()
+	if cerr := d.takeErr(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LogNextLSN returns the next log sequence number (the number of events
+// logged so far, counting from the first incarnation). Zero when durability
+// is off and nothing was recovered.
+func (e *Engine) LogNextLSN() uint64 {
+	if e.dur == nil {
+		return e.recoveredLSN
+	}
+	return e.dur.log.NextLSN()
+}
+
+// applyDurable is Apply with the write-ahead tee: log first (per the sync
+// policy), execute second, then checkpoint if due. An append error means the
+// event was not committed and is not executed.
+func (e *Engine) applyDurable(ev Event) error {
+	d := e.dur
+	if err := d.takeErr(); err != nil {
+		return fmt.Errorf("engine: checkpoint failed: %w", err)
+	}
+	d.evBuf = append(d.evBuf[:0], wal.Event{Relation: ev.Relation, Insert: ev.Insert, Tuple: ev.Tuple})
+	if _, err := d.log.Append(false, d.evBuf); err != nil {
+		return err
+	}
+	if e.serveActive.Load() {
+		if err := e.applyServing(ev); err != nil {
+			return err
+		}
+	} else if plan := e.planFor(ev.Relation); plan != nil {
+		if err := e.applyPlanned(plan, &ev, false); err != nil {
+			return err
+		}
+	}
+	return d.maybeCheckpoint(e)
+}
+
+// applyBatchDurable is ApplyBatch's write-ahead tee: the whole window is one
+// record and (under per-commit sync) one fsync — group commit at batch
+// granularity. Events are logged in the batch's grouped order, which NewBatch
+// regenerates identically on replay.
+func (e *Engine) applyBatchDurable(b *Batch) error {
+	d := e.dur
+	if err := d.takeErr(); err != nil {
+		return fmt.Errorf("engine: checkpoint failed: %w", err)
+	}
+	d.evBuf = d.evBuf[:0]
+	for gi := range b.groups {
+		for _, ev := range b.groups[gi].events {
+			d.evBuf = append(d.evBuf, wal.Event{Relation: ev.Relation, Insert: ev.Insert, Tuple: ev.Tuple})
+		}
+	}
+	if _, err := d.log.Append(true, d.evBuf); err != nil {
+		return err
+	}
+	if err := e.applyBatchLogged(b); err != nil {
+		return err
+	}
+	return d.maybeCheckpoint(e)
+}
+
+// maybeCheckpoint starts a checkpoint when enough events were logged since
+// the last one. Runs on the writer thread.
+func (d *durability) maybeCheckpoint(e *Engine) error {
+	if d.opts.CheckpointEvery == 0 || d.log.NextLSN()-d.lastCkpt < d.opts.CheckpointEvery {
+		return nil
+	}
+	return d.checkpoint(e)
+}
+
+// Checkpoint forces a checkpoint now (synchronously, regardless of
+// SynchronousCheckpoints). It requires armed durability.
+func (e *Engine) Checkpoint() error {
+	if e.dur == nil {
+		return fmt.Errorf("engine: durability not armed")
+	}
+	d := e.dur
+	if err := d.checkpointWith(e, true); err != nil {
+		return err
+	}
+	return d.takeErr()
+}
+
+func (d *durability) checkpoint(e *Engine) error {
+	return d.checkpointWith(e, d.opts.SynchronousCheckpoints)
+}
+
+// checkpointWith pins the current state and publishes it as a checkpoint. The
+// snapshot pin, LSN capture and segment rotation happen on the writer thread
+// (cheap: O(#views) freeze + one file create); serialization, the checkpoint
+// write and garbage collection run in the background unless sync is set. A
+// checkpoint that finds the previous background one still in flight is
+// skipped — the log simply stays longer until the next due point.
+func (d *durability) checkpointWith(e *Engine, sync bool) error {
+	if d.ckptBusy.Load() {
+		return nil
+	}
+	snap := e.Acquire()
+	c := &wal.Checkpoint{LSN: d.log.NextLSN(), EngineEvents: e.Events()}
+	if err := d.log.Rotate(); err != nil {
+		return err
+	}
+	d.lastCkpt = c.LSN
+	names := make([]string, 0, len(snap.views))
+	for name := range snap.views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	write := func() error {
+		for _, name := range names {
+			c.Views = append(c.Views, wal.ViewImage{Name: name, Data: snap.views[name].AppendFlat(nil)})
+		}
+		if _, err := wal.WriteCheckpoint(d.fs, d.opts.Dir, c); err != nil {
+			return err
+		}
+		oldest, err := wal.GC(d.fs, d.opts.Dir)
+		if err != nil {
+			return err
+		}
+		return d.log.RemoveSegmentsBelow(oldest)
+	}
+	if sync {
+		if err := write(); err != nil {
+			d.setErr(err)
+		}
+		return nil
+	}
+	d.ckptBusy.Store(true)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.ckptBusy.Store(false)
+		if err := write(); err != nil {
+			d.setErr(err)
+		}
+	}()
+	return nil
+}
+
+// RecoveryStats reports what Recover reconstructed.
+type RecoveryStats struct {
+	// CheckpointLSN is the LSN of the checkpoint recovery started from
+	// (0 with HadCheckpoint false means replay from an empty engine).
+	CheckpointLSN uint64
+	HadCheckpoint bool
+	// ReplayedEvents is the number of events re-executed from the log tail.
+	ReplayedEvents uint64
+	// NextLSN is where logging resumes (the recovered committed prefix).
+	NextLSN uint64
+	// TruncatedTail is true when a torn record was dropped at the log's end.
+	TruncatedTail bool
+	// SkippedCheckpoints lists damaged checkpoint files that were bypassed.
+	SkippedCheckpoints []string
+}
+
+// Recover loads durable state from o.Dir into this engine: the newest valid
+// checkpoint's flat-store images become the view stores verbatim, and the
+// committed log tail is replayed through the normal Apply/ApplyBatch paths.
+// A torn log tail is truncated (and the segment repaired on disk); a corrupt
+// record with valid records after it, or an unrecoverable checkpoint set,
+// fails with an error and the engine must be considered unusable.
+//
+// Call it on a fresh engine, after LoadStatic/Init and after configuring the
+// execution mode, shard count and columnar setting the original run used —
+// replay re-executes triggers, so recovered state is byte-equal to the
+// original only under the original execution configuration. Arm durability
+// again afterwards with SetDurability to resume logging.
+func (e *Engine) Recover(o DurabilityOptions) (*RecoveryStats, error) {
+	if e.dur != nil {
+		return nil, fmt.Errorf("engine: recover with durability armed")
+	}
+	if e.Events() != 0 {
+		return nil, fmt.Errorf("engine: recover on a non-fresh engine (%d events applied)", e.Events())
+	}
+	fs := o.FS
+	if fs == nil {
+		fs = wal.DiskFS()
+	}
+	rec, err := wal.Scan(fs, o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RecoveryStats{
+		NextLSN:            rec.NextLSN,
+		TruncatedTail:      rec.TruncatedTail,
+		SkippedCheckpoints: rec.SkippedCheckpoints,
+	}
+	if c := rec.Checkpoint; c != nil {
+		stats.HadCheckpoint = true
+		stats.CheckpointLSN = c.LSN
+		if err := e.loadCheckpoint(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range rec.Records {
+		if r.Batch {
+			events := make([]Event, len(r.Events))
+			for i, ev := range r.Events {
+				events[i] = Event{Relation: ev.Relation, Insert: ev.Insert, Tuple: ev.Tuple}
+			}
+			if err := e.ApplyBatch(NewBatch(events)); err != nil {
+				return nil, fmt.Errorf("engine: replay batch at LSN %d: %w", r.First, err)
+			}
+		} else {
+			ev := r.Events[0]
+			if err := e.Apply(Event{Relation: ev.Relation, Insert: ev.Insert, Tuple: ev.Tuple}); err != nil {
+				return nil, fmt.Errorf("engine: replay event at LSN %d: %w", r.First, err)
+			}
+		}
+		stats.ReplayedEvents += uint64(len(r.Events))
+	}
+	if err := rec.RepairTail(fs, o.Dir); err != nil {
+		return nil, err
+	}
+	e.recoveredLSN = rec.NextLSN
+	return stats, nil
+}
+
+// loadCheckpoint installs a checkpoint's flat-store images as the engine's
+// view stores. The checkpoint must carry exactly the program's views, each
+// with the view's key schema — anything else means the directory belongs to a
+// different program.
+func (e *Engine) loadCheckpoint(c *wal.Checkpoint) error {
+	if len(c.Views) != len(e.views) {
+		return fmt.Errorf("engine: checkpoint has %d views, program has %d", len(c.Views), len(e.views))
+	}
+	loaded := make(map[string]*gmr.GMR, len(c.Views))
+	for i := range c.Views {
+		img := &c.Views[i]
+		v, ok := e.views[img.Name]
+		if !ok {
+			return fmt.Errorf("engine: checkpoint view %q not in program", img.Name)
+		}
+		g, err := gmr.LoadFlat(img.Data)
+		if err != nil {
+			return fmt.Errorf("engine: checkpoint view %q: %w", img.Name, err)
+		}
+		gs, vs := g.Schema(), v.Keys()
+		if len(gs) != len(vs) {
+			return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", img.Name, gs, vs)
+		}
+		for j := range gs {
+			if gs[j] != vs[j] {
+				return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", img.Name, gs, vs)
+			}
+		}
+		loaded[img.Name] = g
+	}
+	// All images validated; install atomically so a bad checkpoint never
+	// leaves a half-replaced engine.
+	for name, g := range loaded {
+		v := e.views[name]
+		v.data = g
+		v.frozen = nil
+		v.indexes = map[uint64]*secondaryIndex{}
+	}
+	e.eventsPlain = c.EngineEvents
+	e.adminGen.Add(1)
+	return nil
+}
+
+// DurabilityArmed reports whether the engine currently tees writes through a
+// log.
+func (e *Engine) DurabilityArmed() bool { return e.dur != nil }

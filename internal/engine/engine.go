@@ -92,6 +92,14 @@ type Engine struct {
 	// default); when off, batched groups run the compiled row executors
 	// event by event.
 	columnar bool
+	// dur is the armed durability state (durable.go): non-nil after
+	// SetDurability, at which point Apply/ApplyBatch tee events through the
+	// write-ahead log before executing them. Written from the writer
+	// goroutine only.
+	dur *durability
+	// recoveredLSN is the committed log position Recover reconstructed;
+	// SetDurability resumes logging there.
+	recoveredLSN uint64
 }
 
 // ExecMode selects how trigger statements are executed.
@@ -347,6 +355,11 @@ type Event struct {
 // and subscribers observe per-event granularity when events are applied one
 // at a time; an engine nobody serves runs the unlocked single-threaded path.
 func (e *Engine) Apply(ev Event) error {
+	if e.dur != nil {
+		// Durable engines log the event ahead of executing it (durable.go);
+		// the nil check is the only cost on the memory-only path.
+		return e.applyDurable(ev)
+	}
 	if e.serveActive.Load() {
 		return e.applyServing(ev)
 	}

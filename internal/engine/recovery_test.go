@@ -1,0 +1,310 @@
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/wal"
+	"dbtoaster/internal/workload"
+)
+
+// Crash-fault-injection property test for the durability layer.
+//
+// For every workload query, a durable engine streams a mixed Apply/ApplyBatch
+// schedule through a wal.FaultFS whose write path is killed after a random
+// byte budget — so the kill lands anywhere in the log/checkpoint lifetime,
+// including inside checkpoint writes. After the crash (with a randomized
+// partial page-cache writeback to produce torn log tails), a fresh engine
+// recovers from the surviving bytes and must be *byte-equal* — per-view flat
+// store images, not just semantically equal — to a memory-only engine that
+// replayed the same schedule uninterrupted up to the recovered event count.
+// The recovered engine then re-arms durability, streams the rest, and is
+// crash-recovered a second time to prove the resumed log is whole.
+const (
+	maxRecoveryEvents = 90
+	recoveryTrials    = 3
+	recoveryCkptEvery = 13
+	recoveryWalDir    = "wal"
+)
+
+// commitUnit is one commit boundary in the schedule: either a single Apply or
+// an ApplyBatch window of n events.
+type commitUnit struct {
+	batch bool
+	n     int
+}
+
+func commitSchedule(rng *rand.Rand, n int) []commitUnit {
+	var units []commitUnit
+	for done := 0; done < n; {
+		if rng.Intn(100) < 30 {
+			units = append(units, commitUnit{batch: false, n: 1})
+			done++
+			continue
+		}
+		sz := 1 + rng.Intn(9)
+		if done+sz > n {
+			sz = n - done
+		}
+		units = append(units, commitUnit{batch: true, n: sz})
+		done += sz
+	}
+	return units
+}
+
+func applyUnit(eng *engine.Engine, events []engine.Event, off int, u commitUnit) error {
+	if u.batch {
+		return eng.ApplyBatch(engine.NewBatch(events[off : off+u.n]))
+	}
+	return eng.Apply(events[off])
+}
+
+// referenceAt replays the schedule memory-only up to exactly committed events.
+// The recovered LSN must land on a commit-unit boundary — a recovery that
+// resurrects half an ApplyBatch window broke atomicity.
+func referenceAt(t *testing.T, spec workload.Spec, events []engine.Event, units []commitUnit, committed uint64) *engine.Engine {
+	t.Helper()
+	ref := newEngineFor(t, spec, compiler.ModeDBToaster)
+	ref.SetShards(1)
+	off := 0
+	for _, u := range units {
+		if uint64(off) == committed {
+			break
+		}
+		if uint64(off+u.n) > committed {
+			t.Fatalf("recovered LSN %d splits a commit unit [%d,%d)", committed, off, off+u.n)
+		}
+		if err := applyUnit(ref, events, off, u); err != nil {
+			t.Fatalf("reference apply at %d: %v", off, err)
+		}
+		off += u.n
+	}
+	if uint64(off) != committed {
+		t.Fatalf("recovered LSN %d beyond the %d-event schedule", committed, off)
+	}
+	return ref
+}
+
+// requireByteEqual asserts got's views are byte-for-byte identical to want's
+// (flat-store serialization compares arena layout, slot order, probe tables —
+// the strongest equivalence the engine can offer).
+func requireByteEqual(t *testing.T, label string, want, got *engine.Engine) {
+	t.Helper()
+	if want.Events() != got.Events() {
+		t.Errorf("%s: processed %d events, reference processed %d", label, got.Events(), want.Events())
+	}
+	for name := range want.ViewSizes() {
+		w := want.View(name).Data().AppendFlat(nil)
+		g := got.View(name).Data().AppendFlat(nil)
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: view %s not byte-equal to reference\nreference: %v\nrecovered: %v",
+				label, name, want.View(name).Data(), got.View(name).Data())
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	for qi, spec := range workload.All() {
+		spec := spec
+		qi := qi
+		t.Run(spec.Name, func(t *testing.T) {
+			events := spec.Stream(0.1, 1)
+			if len(events) > maxRecoveryEvents {
+				events = events[:maxRecoveryEvents]
+			}
+			if len(events) == 0 {
+				t.Skip("empty stream at this scale")
+			}
+			rng := rand.New(rand.NewSource(int64(qi+1) * 104729))
+			units := commitSchedule(rng, len(events))
+
+			// Calibration: a fault-free durable run measures the total byte
+			// volume (so trial kill points cover the whole lifetime, checkpoint
+			// writes included) and pins clean-shutdown recovery.
+			ffs := wal.NewFaultFS()
+			eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+			eng.SetShards(1)
+			if err := eng.SetDurability(engine.DurabilityOptions{
+				Dir: recoveryWalDir, FS: ffs, Sync: wal.SyncEachCommit,
+				CheckpointEvery: recoveryCkptEvery, SynchronousCheckpoints: true,
+			}); err != nil {
+				t.Fatalf("set durability: %v", err)
+			}
+			off := 0
+			for _, u := range units {
+				if err := applyUnit(eng, events, off, u); err != nil {
+					t.Fatalf("durable apply at %d: %v", off, err)
+				}
+				off += u.n
+			}
+			if err := eng.CloseDurability(); err != nil {
+				t.Fatalf("close durability: %v", err)
+			}
+			totalBytes := ffs.BytesWritten()
+
+			clean := newEngineFor(t, spec, compiler.ModeDBToaster)
+			clean.SetShards(1)
+			stats, err := clean.Recover(engine.DurabilityOptions{Dir: recoveryWalDir, FS: ffs.CrashClone()})
+			if err != nil {
+				t.Fatalf("clean-shutdown recovery: %v", err)
+			}
+			if stats.NextLSN != uint64(len(events)) {
+				t.Fatalf("clean-shutdown recovery: NextLSN %d, want %d", stats.NextLSN, len(events))
+			}
+			requireByteEqual(t, "clean shutdown vs original", eng, clean)
+			fullRef := referenceAt(t, spec, events, units, uint64(len(events)))
+			requireByteEqual(t, "clean shutdown vs memory-only", fullRef, clean)
+
+			for trial := 0; trial < recoveryTrials; trial++ {
+				trial := trial
+				t.Run(fmt.Sprintf("kill=%d", trial), func(t *testing.T) {
+					trng := rand.New(rand.NewSource(int64(qi+1)*7907 + int64(trial)))
+					dopts := engine.DurabilityOptions{
+						Dir: recoveryWalDir, Sync: wal.SyncEachCommit,
+						CheckpointEvery:        recoveryCkptEvery,
+						SynchronousCheckpoints: trial%2 == 0,
+					}
+					if trial == 2 {
+						// Group commit over an interval: the crash also loses
+						// synced-policy guarantees, recovery just gets a shorter
+						// committed prefix.
+						dopts.Sync = wal.SyncInterval
+						dopts.SyncInterval = time.Millisecond
+					}
+					ffs := wal.NewFaultFS()
+					dopts.FS = ffs
+					eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+					eng.SetShards(1)
+					if err := eng.SetDurability(dopts); err != nil {
+						t.Fatalf("set durability: %v", err)
+					}
+					ffs.KillAfter(1 + trng.Int63n(totalBytes))
+					off := 0
+					for _, u := range units {
+						if err := applyUnit(eng, events, off, u); err != nil {
+							break
+						}
+						off += u.n
+					}
+					// The OS may write back part of its page cache before the
+					// machine dies: flush a random prefix of each unsynced file,
+					// manufacturing torn tails.
+					for name, n := range ffs.UnsyncedFiles() {
+						if trng.Intn(2) == 0 {
+							ffs.PartialFlush(name, trng.Intn(n+1))
+						}
+					}
+					clone := ffs.CrashClone()
+					// Reap the log's goroutines; every late write fails against
+					// the dead filesystem and can't touch the post-crash state.
+					_ = eng.CloseDurability()
+
+					rec := newEngineFor(t, spec, compiler.ModeDBToaster)
+					rec.SetShards(1)
+					stats, err := rec.Recover(engine.DurabilityOptions{Dir: recoveryWalDir, FS: clone})
+					if err != nil {
+						t.Fatalf("recover after kill: %v", err)
+					}
+					ref := referenceAt(t, spec, events, units, stats.NextLSN)
+					requireByteEqual(t, "crash recovery", ref, rec)
+
+					// The recovered engine must be a full citizen: re-arm
+					// durability on the surviving files, stream the remainder,
+					// and recover a second time from the resumed log.
+					if err := rec.SetDurability(engine.DurabilityOptions{
+						Dir: recoveryWalDir, FS: clone, Sync: wal.SyncEachCommit,
+						CheckpointEvery: recoveryCkptEvery, SynchronousCheckpoints: trial%2 == 0,
+					}); err != nil {
+						t.Fatalf("re-arm durability: %v", err)
+					}
+					off = 0
+					for _, u := range units {
+						if uint64(off) >= stats.NextLSN {
+							if err := applyUnit(rec, events, off, u); err != nil {
+								t.Fatalf("post-recovery apply at %d: %v", off, err)
+							}
+							if err := applyUnit(ref, events, off, u); err != nil {
+								t.Fatalf("post-recovery reference apply at %d: %v", off, err)
+							}
+						}
+						off += u.n
+					}
+					if err := rec.CloseDurability(); err != nil {
+						t.Fatalf("close resumed durability: %v", err)
+					}
+					requireByteEqual(t, "post-recovery stream", ref, rec)
+
+					final := newEngineFor(t, spec, compiler.ModeDBToaster)
+					final.SetShards(1)
+					stats2, err := final.Recover(engine.DurabilityOptions{Dir: recoveryWalDir, FS: clone.CrashClone()})
+					if err != nil {
+						t.Fatalf("second recovery: %v", err)
+					}
+					if stats2.NextLSN != uint64(len(events)) {
+						t.Fatalf("second recovery: NextLSN %d, want %d", stats2.NextLSN, len(events))
+					}
+					requireByteEqual(t, "second recovery", ref, final)
+				})
+			}
+		})
+	}
+}
+
+// TestDurabilityMisuse pins the guard rails: double arming, recovering into a
+// dirty or armed engine, and checkpointing without durability all fail loudly
+// instead of corrupting state.
+func TestDurabilityMisuse(t *testing.T) {
+	spec := workload.All()[0]
+	events := spec.Stream(0.1, 1)
+	if len(events) < 2 {
+		t.Fatalf("workload %s stream too short", spec.Name)
+	}
+
+	eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+	if err := eng.Checkpoint(); err == nil {
+		t.Error("Checkpoint without durability should fail")
+	}
+	ffs := wal.NewFaultFS()
+	opts := engine.DurabilityOptions{Dir: recoveryWalDir, FS: ffs, Sync: wal.SyncEachCommit}
+	if err := eng.SetDurability(opts); err != nil {
+		t.Fatalf("set durability: %v", err)
+	}
+	if err := eng.SetDurability(opts); err == nil {
+		t.Error("double SetDurability should fail")
+	}
+	if _, err := eng.Recover(opts); err == nil {
+		t.Error("Recover with durability armed should fail")
+	}
+	if err := eng.Apply(events[0]); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := eng.CloseDurability(); err != nil {
+		t.Fatalf("close durability: %v", err)
+	}
+	if _, err := eng.Recover(opts); err == nil {
+		t.Error("Recover on a non-fresh engine should fail")
+	}
+
+	// A directory from a different program must be rejected at load time.
+	other := newEngineFor(t, workload.All()[1], compiler.ModeDBToaster)
+	if err := other.SetDurability(engine.DurabilityOptions{
+		Dir: recoveryWalDir, FS: ffs, Sync: wal.SyncEachCommit,
+	}); err != nil {
+		t.Fatalf("arm other program: %v", err)
+	}
+	if err := other.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint other program: %v", err)
+	}
+	if err := other.CloseDurability(); err != nil {
+		t.Fatalf("close other program: %v", err)
+	}
+	mismatched := newEngineFor(t, spec, compiler.ModeDBToaster)
+	if _, err := mismatched.Recover(engine.DurabilityOptions{Dir: recoveryWalDir, FS: ffs}); err == nil {
+		t.Error("recovering another program's checkpoint should fail")
+	}
+}

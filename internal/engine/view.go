@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 
 	"dbtoaster/internal/gmr"
@@ -158,8 +159,18 @@ func (v *View) MergeDelta(delta *gmr.GMR) {
 
 // updateIndexes reflects one primary-store mutation in every secondary
 // index. In-place multiplicity updates need no index work at all — the
-// postings reference the slot, not the value; only entry creation (append
-// the slot id) and removal (drop it) touch a posting.
+// postings reference the slot, not the value; only entry creation and removal
+// touch a posting.
+//
+// Postings are kept in ascending slot-id order. The order is load-bearing for
+// durability, not just tidiness: it makes a posting a pure function of the
+// store's current contents, with no dependence on the insertion/removal
+// history that produced them. An index lazily rebuilt after recovery (a
+// ForeachSlot walk, naturally ascending) is therefore bit-identical to one
+// maintained incrementally through the original run — and since probe
+// iteration order feeds float accumulation order, that is what keeps replayed
+// results byte-equal to an uninterrupted run. Buckets are probe-selective, so
+// the ordered insert's shift stays as short as the removal scan always was.
 func (v *View) updateIndexes(id int32, key types.Tuple, newMult float64, inserted bool) {
 	if !inserted && newMult != 0 {
 		return
@@ -172,24 +183,21 @@ func (v *View) updateIndexes(id int32, key types.Tuple, newMult float64, inserte
 				p = &posting{}
 				idx.buckets[string(bk)] = p
 			}
-			p.ids = append(p.ids, id)
+			i := sort.Search(len(p.ids), func(j int) bool { return p.ids[j] >= id })
+			p.ids = append(p.ids, 0)
+			copy(p.ids[i+1:], p.ids[i:])
+			p.ids[i] = id
 			continue
 		}
-		// newMult == 0: the slot was freed; remove it from the posting (a
-		// linear scan — freed slot ids are reused by the store, so stale ids
-		// must never linger; bucket sizes here are probe-selective, so the
-		// scan stays short). The emptied posting is kept so hot buckets do
-		// not churn allocations.
+		// newMult == 0: the slot was freed; drop it (freed slot ids are
+		// reused by the store, so stale ids must never linger). The emptied
+		// posting is kept so hot buckets do not churn allocations.
 		if p == nil {
 			continue
 		}
-		for i, pid := range p.ids {
-			if pid == id {
-				last := len(p.ids) - 1
-				p.ids[i] = p.ids[last]
-				p.ids = p.ids[:last]
-				break
-			}
+		i := sort.Search(len(p.ids), func(j int) bool { return p.ids[j] >= id })
+		if i < len(p.ids) && p.ids[i] == id {
+			p.ids = append(p.ids[:i], p.ids[i+1:]...)
 		}
 	}
 }

@@ -1,0 +1,329 @@
+package gmr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dbtoaster/internal/types"
+)
+
+// This file is the checkpoint codec of the flat store: AppendFlat serializes
+// a GMR's storage structures near-verbatim — the arena bytes, the slot
+// records, the free list and the packed probe table — and LoadFlat rebuilds
+// an identical store from them. "Identical" is load-bearing: the restored
+// store reproduces not just the entry set but the exact slot ids, free-list
+// order, arena layout (including dead key bytes) and probe-cell placement of
+// the original, so execution resumed on a recovered store makes byte-for-byte
+// the same decisions (iteration order, slot reuse, grow and compaction
+// points) as the store it was checkpointed from. Tuples are not serialized:
+// each live slot's tuple is re-derived by decoding its canonical key bytes
+// (types.DecodeKey), which yields values that compare, coerce and re-encode
+// identically to the originals.
+//
+// The format is flat and offset-addressed (fixed-width slot records after a
+// fixed-width header), in the spirit of disk-based index layouts: a future
+// larger-than-memory path can map the arena and slot sections in place
+// instead of copying them.
+//
+// LoadFlat trusts nothing: every count is bounds-checked against the
+// remaining input before allocation, key references are checked against the
+// arena, the probe table is verified cell-by-cell against the slots, and
+// every live slot must be findable through the loaded table. A truncated or
+// bit-flipped image produces an error (and no partially initialized GMR),
+// never a panic. Integrity against silent corruption of the byte stream
+// itself (CRCs) is the caller's layer — see package wal.
+
+const (
+	flatVersion   = 1
+	flatSlotBytes = 25 // hash(8) + mult(8) + keyOff(4) + keyLen(4) + dead(1)
+	flatMagic     = "GMRFLAT1"
+)
+
+// AppendFlat appends the flat-store serialization of g to dst and returns the
+// extended slice. It only reads the store, so it may be called on a frozen
+// snapshot (gmr.Freeze) concurrently with further mutation of the snapshot's
+// source — that is exactly how the engine checkpoints without stalling its
+// writer.
+func (g *GMR) AppendFlat(dst []byte) []byte {
+	dst = append(dst, flatMagic...)
+	dst = append(dst, flatVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(g.schema)))
+	for _, col := range g.schema {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(col)))
+		dst = append(dst, col...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(g.live))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.slots)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.free)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.index)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(g.arena)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(g.deadKey))
+	dst = append(dst, g.arena...)
+	for i := range g.slots {
+		s := &g.slots[i]
+		dst = binary.LittleEndian.AppendUint64(dst, s.hash)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.mult))
+		dst = binary.LittleEndian.AppendUint32(dst, s.keyOff)
+		dst = binary.LittleEndian.AppendUint32(dst, s.keyLen)
+		if s.dead {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	for _, id := range g.free {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	for _, cell := range g.index {
+		dst = binary.LittleEndian.AppendUint64(dst, cell)
+	}
+	return dst
+}
+
+// flatReader is a bounds-checked cursor over a serialized flat store.
+type flatReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *flatReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b)-r.pos < n {
+		return nil, fmt.Errorf("truncated at offset %d (need %d bytes, have %d)", r.pos, n, len(r.b)-r.pos)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *flatReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *flatReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *flatReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// LoadFlat reconstructs a GMR from an AppendFlat serialization. The entire
+// input must be consumed; structural damage of any kind is reported as an
+// error with the failing offset or slot, and no partially loaded store is
+// ever returned.
+func LoadFlat(data []byte) (*GMR, error) {
+	r := &flatReader{b: data}
+	magic, err := r.take(len(flatMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != flatMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	ver, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	if ver[0] != flatVersion {
+		return nil, fmt.Errorf("unsupported flat-store version %d", ver[0])
+	}
+	ncols, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	schema := make(types.Schema, ncols)
+	for i := range schema {
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		col, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = string(col)
+	}
+	live, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nSlots, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nFree, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nIndex, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	arenaLen, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	deadKey, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if arenaLen > uint64(len(data)) {
+		return nil, fmt.Errorf("arena length %d exceeds input size %d", arenaLen, len(data))
+	}
+	arena, err := r.take(int(arenaLen))
+	if err != nil {
+		return nil, err
+	}
+	slotBytesTotal := int(nSlots) * flatSlotBytes
+	if nSlots > uint32(len(data)/flatSlotBytes+1) {
+		return nil, fmt.Errorf("slot count %d exceeds input size", nSlots)
+	}
+	slotBuf, err := r.take(slotBytesTotal)
+	if err != nil {
+		return nil, err
+	}
+	freeBuf, err := r.take(int(nFree) * 4)
+	if err != nil {
+		return nil, err
+	}
+	if nIndex > uint32(len(data)/8+1) {
+		return nil, fmt.Errorf("probe table size %d exceeds input size", nIndex)
+	}
+	indexBuf, err := r.take(int(nIndex) * 8)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%d trailing bytes after flat store", len(data)-r.pos)
+	}
+	if nIndex != 0 && (nIndex < minIndexSize || nIndex&(nIndex-1) != 0) {
+		return nil, fmt.Errorf("probe table size %d is not a power of two >= %d", nIndex, minIndexSize)
+	}
+	if live > nSlots {
+		return nil, fmt.Errorf("live count %d exceeds slot count %d", live, nSlots)
+	}
+	if deadKey > arenaLen {
+		return nil, fmt.Errorf("dead-key byte count %d exceeds arena size %d", deadKey, arenaLen)
+	}
+
+	g := &GMR{
+		schema:  schema,
+		arena:   append([]byte(nil), arena...),
+		slots:   make([]slot, nSlots),
+		index:   make([]uint64, nIndex),
+		free:    make([]int32, nFree),
+		live:    int(live),
+		deadKey: int(deadKey),
+	}
+	liveSeen := 0
+	for i := range g.slots {
+		rec := slotBuf[i*flatSlotBytes:]
+		s := &g.slots[i]
+		s.hash = binary.LittleEndian.Uint64(rec)
+		s.mult = math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		s.keyOff = binary.LittleEndian.Uint32(rec[16:])
+		s.keyLen = binary.LittleEndian.Uint32(rec[20:])
+		switch rec[24] {
+		case 0:
+			s.dead = false
+		case 1:
+			s.dead = true
+		default:
+			return nil, fmt.Errorf("slot %d: bad dead marker %d", i, rec[24])
+		}
+		if s.dead {
+			// Dead slots keep their stored fields verbatim — the key
+			// reference may be stale after arena compaction and the
+			// multiplicity is never read again (insertAt overwrites it on
+			// slot reuse), so neither is validated nor normalized here;
+			// preserving them keeps load/serialize byte-faithful.
+			continue
+		}
+		liveSeen++
+		if uint64(s.keyOff)+uint64(s.keyLen) > arenaLen {
+			return nil, fmt.Errorf("slot %d: key [%d:%d) outside arena of %d bytes", i, s.keyOff, s.keyOff+s.keyLen, arenaLen)
+		}
+		key := g.keyAt(s)
+		if h := hashKey(key); h != s.hash {
+			return nil, fmt.Errorf("slot %d: stored hash %#x does not match key hash %#x", i, s.hash, h)
+		}
+		tup, err := types.DecodeKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("slot %d: undecodable key: %w", i, err)
+		}
+		if len(tup) != len(schema) {
+			return nil, fmt.Errorf("slot %d: key arity %d does not match schema %v", i, len(tup), schema)
+		}
+		s.tuple = tup
+	}
+	if liveSeen != int(live) {
+		return nil, fmt.Errorf("header live count %d but %d live slots", live, liveSeen)
+	}
+	freeSeen := make(map[int32]bool, nFree)
+	for i := range g.free {
+		id := int32(binary.LittleEndian.Uint32(freeBuf[i*4:]))
+		if id < 0 || id >= int32(nSlots) {
+			return nil, fmt.Errorf("free list entry %d: slot id %d out of range", i, id)
+		}
+		if !g.slots[id].dead {
+			return nil, fmt.Errorf("free list entry %d: slot %d is live", i, id)
+		}
+		if freeSeen[id] {
+			return nil, fmt.Errorf("free list entry %d: slot %d listed twice", i, id)
+		}
+		freeSeen[id] = true
+		g.free[i] = id
+	}
+	if int(nFree) != int(nSlots)-liveSeen {
+		return nil, fmt.Errorf("free list holds %d ids but %d slots are dead", nFree, int(nSlots)-liveSeen)
+	}
+	occupied := 0
+	for i := range g.index {
+		cell := binary.LittleEndian.Uint64(indexBuf[i*8:])
+		g.index[i] = cell
+		if cell == 0 {
+			continue
+		}
+		occupied++
+		id := int32(cell&0xFFFFFFFF) - 1
+		if id < 0 || id >= int32(nSlots) {
+			return nil, fmt.Errorf("probe cell %d: slot id %d out of range", i, id)
+		}
+		s := &g.slots[id]
+		if s.dead {
+			return nil, fmt.Errorf("probe cell %d: references dead slot %d", i, id)
+		}
+		if cell&^0xFFFFFFFF != s.hash&^0xFFFFFFFF {
+			return nil, fmt.Errorf("probe cell %d: hash tag does not match slot %d", i, id)
+		}
+	}
+	if occupied != liveSeen {
+		return nil, fmt.Errorf("probe table holds %d entries but %d slots are live", occupied, liveSeen)
+	}
+	// Every live slot must actually be reachable through the loaded probe
+	// table under linear probing — this pins cluster integrity (a shuffled
+	// but individually valid table would corrupt lookups silently).
+	for i := range g.slots {
+		s := &g.slots[i]
+		if s.dead {
+			continue
+		}
+		if _, id, ok := g.find(s.hash, g.keyAt(s)); !ok || id != int32(i) {
+			return nil, fmt.Errorf("slot %d: not reachable through the probe table", i)
+		}
+	}
+	return g, nil
+}

@@ -16,10 +16,12 @@ package gmr
 // place (multiplicity adds, backward-shift deletion), which is why those two
 // slices are the copy-on-write unit.
 //
-// Cost model: Freeze itself is O(1) — three slice headers and a few scalars,
-// no per-entry work. The deferred copy is O(entries) and is paid at most once
-// per freeze, by the writer, on its first subsequent mutation; a reader never
-// pays anything and never blocks.
+// Cost model: Freeze is O(1) in the store size — three slice headers, a few
+// scalars, and a copy of the pending-reuse free list (dead slots awaiting
+// reuse, normally a tiny fraction of the store; see the note in Freeze for why
+// it cannot be shared). The deferred copy is O(entries) and is paid at most
+// once per freeze, by the writer, on its first subsequent mutation; a reader
+// never pays anything and never blocks.
 
 const (
 	// flagCOW: frozen since the last mutation — copy slots/index before the
@@ -40,10 +42,19 @@ func (g *GMR) Freeze() *GMR {
 	}
 	g.flags |= flagCOW
 	return &GMR{
-		schema:  g.schema,
-		arena:   g.arena,
-		slots:   g.slots,
-		index:   g.index,
+		schema: g.schema,
+		arena:  g.arena,
+		slots:  g.slots,
+		index:  g.index,
+		// The free list is copied, not shared: the writer may pop an id and
+		// then push another into the vacated backing element, which would
+		// mutate the snapshot's view of it. It must be captured — a checkpoint
+		// serialized from this snapshot (AppendFlat) has to restore the exact
+		// pending-reuse order, or replayed inserts pick different slot ids
+		// than the original run did. It is the list of dead slots awaiting
+		// reuse, normally a tiny fraction of the store, so Freeze stays
+		// effectively O(1).
+		free:    append([]int32(nil), g.free...),
 		live:    g.live,
 		deadKey: g.deadKey,
 		flags:   flagSealed,

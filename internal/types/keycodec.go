@@ -1,0 +1,104 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file is the inverse of the canonical key encoding (Value.EncodeKey /
+// Tuple.AppendKey): the checkpoint codec stores view contents as the raw key
+// bytes already held in a GMR's arena, and recovery decodes them back into
+// tuples instead of persisting the tuples separately.
+//
+// The encoding is canonical, not injective: values that Compare as equal
+// encode identically (booleans as 0/1 integers, integral floats as the equal
+// integer), so DecodeKey returns one representative per equivalence class —
+// always the integer form. The representative Compares equal to the original
+// value, coerces to the same float, and re-encodes to the same bytes, which
+// is exactly the contract view contents need.
+
+// DecodeKey parses a canonical tuple key encoding back into a Tuple. An empty
+// key decodes to the empty (nullary) tuple. Malformed input — truncated
+// values, bad tags, overlong string lengths — yields an error, never a panic.
+func DecodeKey(key []byte) (Tuple, error) {
+	if len(key) == 0 {
+		return Tuple{}, nil
+	}
+	var t Tuple
+	pos := 0
+	for {
+		v, n, err := decodeValue(key[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("key offset %d: %w", pos, err)
+		}
+		t = append(t, v)
+		pos += n
+		if pos == len(key) {
+			return t, nil
+		}
+		if key[pos] != '|' {
+			return nil, fmt.Errorf("key offset %d: expected separator, got %q", pos, key[pos])
+		}
+		pos++
+		if pos == len(key) {
+			return nil, fmt.Errorf("key ends in a separator")
+		}
+	}
+}
+
+// decodeValue decodes one value at the start of b and returns it together
+// with the number of bytes consumed.
+func decodeValue(b []byte) (Value, int, error) {
+	switch b[0] {
+	case 'n':
+		return Null(), 1, nil
+	case 'i':
+		end := scalarEnd(b, 1)
+		n, err := strconv.ParseInt(string(b[1:end]), 10, 64)
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("bad int %q", b[1:end])
+		}
+		return Int(n), end, nil
+	case 'f':
+		end := scalarEnd(b, 1)
+		f, err := strconv.ParseFloat(string(b[1:end]), 64)
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("bad float %q", b[1:end])
+		}
+		return Float(f), end, nil
+	case 's':
+		colon := -1
+		for i := 1; i < len(b); i++ {
+			if b[i] == ':' {
+				colon = i
+				break
+			}
+		}
+		if colon < 0 {
+			return Value{}, 0, fmt.Errorf("string length not terminated")
+		}
+		n, err := strconv.Atoi(string(b[1:colon]))
+		if err != nil || n < 0 {
+			return Value{}, 0, fmt.Errorf("bad string length %q", b[1:colon])
+		}
+		if colon+1+n > len(b) {
+			return Value{}, 0, fmt.Errorf("string payload truncated (want %d bytes, have %d)", n, len(b)-colon-1)
+		}
+		return Str(string(b[colon+1 : colon+1+n])), colon + 1 + n, nil
+	case '?':
+		return Value{}, 0, fmt.Errorf("unencodable value tag")
+	default:
+		return Value{}, 0, fmt.Errorf("unknown value tag %q", b[0])
+	}
+}
+
+// scalarEnd returns the end of a numeric value's text: the next separator, or
+// the end of the buffer.
+func scalarEnd(b []byte, from int) int {
+	for i := from; i < len(b); i++ {
+		if b[i] == '|' {
+			return i
+		}
+	}
+	return len(b)
+}

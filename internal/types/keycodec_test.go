@@ -1,0 +1,124 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeKeyRoundTrip checks that decoding a tuple's canonical key yields
+// a tuple that re-encodes to exactly the same bytes and Compares equal
+// value-by-value — the canonical-representative contract DecodeKey documents.
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{},
+		{Int(0)},
+		{Int(-42), Int(1 << 40)},
+		{Str("")},
+		{Str("hello"), Str("with|pipe"), Str("with:colon")},
+		{Str("i123"), Str("s5:abcde")}, // payloads that look like encodings
+		{Null(), Int(7), Null()},
+		{Float(1.5), Float(-0.25), Float(math.Pi)},
+		{Float(3), Bool(true), Bool(false)}, // canonicalize to ints
+		{Date(1997, 9, 1), Str("MAIL"), Int(99)},
+	}
+	for _, tc := range cases {
+		key := tc.AppendKey(nil)
+		got, err := DecodeKey(key)
+		if err != nil {
+			t.Fatalf("DecodeKey(%q): %v", key, err)
+		}
+		if len(got) != len(tc) {
+			t.Fatalf("DecodeKey(%q): arity %d, want %d", key, len(got), len(tc))
+		}
+		for i := range tc {
+			if !got[i].Equal(tc[i]) {
+				t.Fatalf("DecodeKey(%q)[%d] = %v, not equal to %v", key, i, got[i], tc[i])
+			}
+		}
+		re := got.AppendKey(nil)
+		if string(re) != string(key) {
+			t.Fatalf("re-encode of %v = %q, want %q", got, re, key)
+		}
+	}
+}
+
+// TestDecodeKeyRandom round-trips randomly generated tuples.
+func TestDecodeKeyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randValue := func() Value {
+		switch rng.Intn(5) {
+		case 0:
+			return Int(rng.Int63n(1<<40) - 1<<39)
+		case 1:
+			return Float(rng.NormFloat64() * 1e6)
+		case 2:
+			b := make([]byte, rng.Intn(12))
+			rng.Read(b)
+			return Str(string(b))
+		case 3:
+			return Bool(rng.Intn(2) == 0)
+		default:
+			return Null()
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		tup := make(Tuple, rng.Intn(6))
+		for i := range tup {
+			tup[i] = randValue()
+		}
+		key := tup.AppendKey(nil)
+		got, err := DecodeKey(key)
+		if err != nil {
+			t.Fatalf("DecodeKey(%q): %v", key, err)
+		}
+		if re := got.AppendKey(nil); string(re) != string(key) {
+			t.Fatalf("re-encode of %v = %q, want %q", got, re, key)
+		}
+	}
+}
+
+// TestDecodeKeyMalformed feeds truncated and corrupted keys; every case must
+// return an error rather than panicking or silently succeeding.
+func TestDecodeKeyMalformed(t *testing.T) {
+	bad := []string{
+		"x",          // unknown tag
+		"?",          // unencodable tag
+		"i",          // int with no digits
+		"izz",        // int with junk digits
+		"f",          // float with no text
+		"fxx",        // float with junk
+		"s",          // string with no length
+		"s5",         // length not terminated
+		"s5:abc",     // payload truncated
+		"s-1:",       // negative length
+		"sz:",        // junk length
+		"i1|",        // trailing separator
+		"|i1",        // leading separator
+		"i1||i2",     // empty value between separators
+		"i1|s9999:x", // truncated long string
+	}
+	for _, k := range bad {
+		if got, err := DecodeKey([]byte(k)); err == nil {
+			t.Fatalf("DecodeKey(%q) = %v, want error", k, got)
+		}
+	}
+}
+
+// TestDecodeKeyGrowingStream mirrors how the checkpoint loader uses the
+// decoder: every prefix that is itself a valid key must decode, and the
+// decoder must never read past the slice it is given.
+func TestDecodeKeyExactConsumption(t *testing.T) {
+	tup := Tuple{Int(5), Str("ab|cd"), Float(2.5)}
+	key := tup.AppendKey(nil)
+	// Append garbage beyond the slice bounds the decoder receives; the
+	// decoder sees only key[:len(key)] and must consume it exactly.
+	buf := append(append([]byte(nil), key...), "GARBAGE"...)
+	got, err := DecodeKey(buf[:len(key)])
+	if err != nil {
+		t.Fatalf("DecodeKey: %v", err)
+	}
+	if re := got.AppendKey(nil); string(re) != string(key) {
+		t.Fatalf("re-encode = %q, want %q", re, key)
+	}
+}

@@ -1,0 +1,360 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Checkpoint files (`ckpt-<%016x LSN>.ckpt`) hold one atomic snapshot of all
+// view stores:
+//
+//	magic "DBTCKPT1", u8 version
+//	u64 LSN            (logged events reflected in the snapshot)
+//	u64 engine events  (the engine's trigger-handled event counter, restored
+//	                    verbatim so Events() survives recovery)
+//	u32 view count
+//	per view: u16 name length, name bytes, u64 image length, flat-store image
+//	u32 CRC-32C over everything above
+//
+// A checkpoint is written to a temporary name, synced, then renamed into
+// place, so a crash mid-write leaves at worst a stale temp file and never a
+// half-visible checkpoint under the real name. The CRC catches the remaining
+// failure shapes (a torn temp rename on a filesystem without atomic-rename
+// durability, or silent media corruption); a checkpoint that fails its CRC or
+// any structural check is skipped and recovery falls back to the next older
+// one.
+
+const (
+	ckptMagic   = "DBTCKPT1"
+	ckptVersion = 1
+	// keepCheckpoints is how many checkpoints the garbage collector retains.
+	// Keeping two means a checkpoint corrupted in place never strands
+	// recovery: the log segments needed to replay from the previous one are
+	// retained with it.
+	keepCheckpoints = 2
+)
+
+// ViewImage is one view's serialized flat store.
+type ViewImage struct {
+	Name string
+	Data []byte
+}
+
+// Checkpoint is a decoded checkpoint: the replay cut point plus every view's
+// flat-store image.
+type Checkpoint struct {
+	// LSN is the number of logged events whose effects the images reflect;
+	// replay resumes at this LSN.
+	LSN uint64
+	// EngineEvents restores the engine's processed-event counter.
+	EngineEvents uint64
+	Views        []ViewImage
+}
+
+func (c *Checkpoint) append(dst []byte) []byte {
+	dst = append(dst, ckptMagic...)
+	dst = append(dst, ckptVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, c.LSN)
+	dst = binary.LittleEndian.AppendUint64(dst, c.EngineEvents)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Views)))
+	for i := range c.Views {
+		v := &c.Views[i]
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Name)))
+		dst = append(dst, v.Name...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(len(v.Data)))
+		dst = append(dst, v.Data...)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst, crcTable))
+}
+
+// WriteCheckpoint atomically publishes c into dir and returns the checkpoint
+// file name. It does not garbage-collect; see GC.
+func WriteCheckpoint(fs FS, dir string, c *Checkpoint) (string, error) {
+	if fs == nil {
+		fs = DiskFS()
+	}
+	name := checkpointName(c.LSN)
+	tmp := name + ".tmp"
+	f, err := fs.Create(join(dir, tmp))
+	if err != nil {
+		return "", fmt.Errorf("wal: create checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(c.append(nil)); err != nil {
+		f.Close()
+		return "", fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := fs.Rename(join(dir, tmp), join(dir, name)); err != nil {
+		return "", fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	return name, nil
+}
+
+// ReadCheckpoint loads and fully validates one checkpoint file. Damage of any
+// kind — truncation, bit flips, structural nonsense — returns a diagnostic
+// error and no checkpoint.
+func ReadCheckpoint(fs FS, dir, name string) (*Checkpoint, error) {
+	if fs == nil {
+		fs = DiskFS()
+	}
+	data, err := fs.ReadFile(join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(data)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	const minLen = len(ckptMagic) + 1 + 8 + 8 + 4 + 4
+	if len(data) < minLen {
+		return nil, fmt.Errorf("checkpoint truncated (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checkpoint CRC mismatch (stored %#x, computed %#x)", want, got)
+	}
+	if string(body[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("bad checkpoint magic %q", body[:len(ckptMagic)])
+	}
+	pos := len(ckptMagic)
+	if body[pos] != ckptVersion {
+		return nil, fmt.Errorf("unsupported checkpoint version %d", body[pos])
+	}
+	pos++
+	c := &Checkpoint{
+		LSN:          binary.LittleEndian.Uint64(body[pos:]),
+		EngineEvents: binary.LittleEndian.Uint64(body[pos+8:]),
+	}
+	nViews := int(binary.LittleEndian.Uint32(body[pos+16:]))
+	pos += 20
+	if nViews < 0 || nViews > len(body) {
+		return nil, fmt.Errorf("implausible view count %d", nViews)
+	}
+	c.Views = make([]ViewImage, 0, nViews)
+	for i := 0; i < nViews; i++ {
+		if len(body)-pos < 2 {
+			return nil, fmt.Errorf("view %d: truncated name length", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[pos:]))
+		pos += 2
+		if len(body)-pos < nameLen+8 {
+			return nil, fmt.Errorf("view %d: truncated name or image length", i)
+		}
+		name := string(body[pos : pos+nameLen])
+		pos += nameLen
+		imgLen := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		if imgLen > uint64(len(body)-pos) {
+			return nil, fmt.Errorf("view %s: image length %d exceeds remaining %d bytes", name, imgLen, len(body)-pos)
+		}
+		c.Views = append(c.Views, ViewImage{Name: name, Data: body[pos : pos+int(imgLen)]})
+		pos += int(imgLen)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("%d trailing bytes in checkpoint", len(body)-pos)
+	}
+	return c, nil
+}
+
+// GC removes checkpoints beyond the newest keepCheckpoints and the stale temp
+// files of interrupted checkpoint writes. Segment retention is the log's job
+// (Log.RemoveSegmentsBelow with the oldest retained checkpoint's LSN, which
+// GC returns). Best-effort: removal errors are returned but the state is
+// usable regardless — recovery tolerates extra files.
+func GC(fs FS, dir string) (oldestRetained uint64, err error) {
+	if fs == nil {
+		fs = DiskFS()
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	ckpts := checkpointLSNs(names)
+	drop := 0
+	if len(ckpts) > keepCheckpoints {
+		drop = len(ckpts) - keepCheckpoints
+	}
+	for _, c := range ckpts[:drop] {
+		if rerr := fs.Remove(join(dir, c.name)); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".tmp" {
+			if rerr := fs.Remove(join(dir, n)); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	}
+	if len(ckpts) == 0 {
+		return 0, err
+	}
+	return ckpts[drop].lsn, err
+}
+
+// Recovered is everything Scan reconstructs from a log directory.
+type Recovered struct {
+	// Checkpoint is the newest valid checkpoint, or nil when recovery starts
+	// from an empty engine.
+	Checkpoint *Checkpoint
+	// Records is the committed log tail after the checkpoint, in LSN order.
+	Records []Record
+	// NextLSN is where the writer resumes.
+	NextLSN uint64
+	// TruncatedTail is true when a torn record was dropped at the log's end —
+	// the clean signature of a crash mid-append. TornSegment/TornValidBytes
+	// locate the damage for RepairTail.
+	TruncatedTail  bool
+	TornSegment    string
+	TornValidBytes int
+	// SkippedCheckpoints names checkpoint files that failed validation and
+	// were bypassed in favor of an older one.
+	SkippedCheckpoints []string
+}
+
+// Scan reads a log directory and reconstructs the recovery plan: newest valid
+// checkpoint plus the contiguous committed record tail after it. A record
+// that fails validation with valid records after it means corruption and
+// fails the scan; a failure with nothing but garbage after it is a torn tail
+// and is dropped cleanly. An empty or absent directory recovers to an empty
+// state.
+func Scan(fs FS, dir string) (*Recovered, error) {
+	if fs == nil {
+		fs = DiskFS()
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		// An absent directory is a fresh start, not an error.
+		return &Recovered{}, nil
+	}
+
+	out := &Recovered{}
+	ckpts := checkpointLSNs(names)
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		c, cerr := ReadCheckpoint(fs, dir, ckpts[i].name)
+		if cerr != nil {
+			out.SkippedCheckpoints = append(out.SkippedCheckpoints, fmt.Sprintf("%s: %v", ckpts[i].name, cerr))
+			continue
+		}
+		out.Checkpoint = c
+		break
+	}
+	base := uint64(0)
+	if out.Checkpoint != nil {
+		base = out.Checkpoint.LSN
+	}
+
+	segs := segmentLSNs(names)
+	// Drop segments wholly below the checkpoint: every record in segment i
+	// has LSN < segment i+1's first LSN.
+	for len(segs) > 1 && segs[1].lsn <= base {
+		segs = segs[1:]
+	}
+	expect := base
+	for si, seg := range segs {
+		data, rerr := fs.ReadFile(join(dir, seg.name))
+		if rerr != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", seg.name, rerr)
+		}
+		last := si == len(segs)-1
+		pos := 0
+		for pos < len(data) {
+			rec, n, derr := decodeRecord(data[pos:])
+			if derr != nil {
+				if !last {
+					return nil, fmt.Errorf("wal: segment %s offset %d: corrupt record mid-log: %v", seg.name, pos, derr)
+				}
+				// Tail failure: a clean crash point only if nothing valid
+				// follows. Any decodable record after the damage means the
+				// damage is corruption, not a torn append.
+				if off := nextValidRecord(data, pos+1); off >= 0 {
+					return nil, fmt.Errorf("wal: segment %s offset %d: corrupt record with valid record at offset %d after it: %v",
+						seg.name, pos, off, derr)
+				}
+				out.TruncatedTail = true
+				out.TornSegment = seg.name
+				out.TornValidBytes = pos
+				pos = len(data)
+				break
+			}
+			end := rec.First + uint64(len(rec.Events))
+			switch {
+			case end <= base:
+				// Fully covered by the checkpoint.
+			case rec.First < base:
+				return nil, fmt.Errorf("wal: segment %s: record [%d,%d) straddles checkpoint LSN %d", seg.name, rec.First, end, base)
+			case rec.First != expect:
+				return nil, fmt.Errorf("wal: segment %s: LSN gap (expect %d, record starts at %d)", seg.name, expect, rec.First)
+			default:
+				out.Records = append(out.Records, rec)
+				expect = end
+			}
+			pos += n
+		}
+	}
+	out.NextLSN = expect
+	return out, nil
+}
+
+// RepairTail rewrites the torn segment down to its valid prefix (temp file +
+// sync + atomic rename). Recovery must do this before the writer resumes in a
+// new segment: once a newer segment exists, the torn one is no longer the
+// log's tail, and a later Scan would rightly refuse its garbage as mid-log
+// corruption. No-op when the scan found no torn tail.
+func (r *Recovered) RepairTail(fs FS, dir string) error {
+	if !r.TruncatedTail || r.TornSegment == "" {
+		return nil
+	}
+	if fs == nil {
+		fs = DiskFS()
+	}
+	path := join(dir, r.TornSegment)
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	if r.TornValidBytes > len(data) {
+		return fmt.Errorf("wal: repair tail: segment %s shrank below its valid prefix", r.TornSegment)
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	if _, err := f.Write(data[:r.TornValidBytes]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: repair tail: %w", err)
+	}
+	return nil
+}
+
+// nextValidRecord scans forward from offset from for any position where a
+// record decodes cleanly, returning its offset or -1. CRC validation makes a
+// false positive on torn garbage astronomically unlikely, so a hit is treated
+// as proof that the preceding failure was corruption rather than a crash
+// point.
+func nextValidRecord(data []byte, from int) int {
+	for off := from; off+recHeaderBytes <= len(data); off++ {
+		if _, _, err := decodeRecord(data[off:]); err == nil {
+			return off
+		}
+	}
+	return -1
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+func testCheckpoint(lsn uint64) *Checkpoint {
+	g := gmr.New(types.Schema{"a", "b"})
+	for i := 0; i < 50; i++ {
+		g.Add(types.Tuple{types.Int(int64(i % 17)), types.Str(fmt.Sprintf("k%d", i))}, float64(i)+0.25)
+	}
+	return &Checkpoint{
+		LSN:          lsn,
+		EngineEvents: lsn - 1,
+		Views: []ViewImage{
+			{Name: "Q", Data: g.AppendFlat(nil)},
+			{Name: "EMPTY", Data: gmr.New(types.Schema{"x"}).AppendFlat(nil)},
+		},
+	}
+}
+
+func ckptEqual(a, b *Checkpoint) bool {
+	if a.LSN != b.LSN || a.EngineEvents != b.EngineEvents || len(a.Views) != len(b.Views) {
+		return false
+	}
+	for i := range a.Views {
+		if a.Views[i].Name != b.Views[i].Name || !bytes.Equal(a.Views[i].Data, b.Views[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointRoundTrip publishes a checkpoint and reads it back, then
+// checks the view images still load as flat stores.
+func TestCheckpointRoundTrip(t *testing.T) {
+	fs := NewFaultFS()
+	fs.MkdirAll("d")
+	want := testCheckpoint(42)
+	name, err := WriteCheckpoint(fs, "d", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(fs, "d", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ckptEqual(want, got) {
+		t.Fatal("checkpoint round trip differs")
+	}
+	if _, err := gmr.LoadFlat(got.Views[0].Data); err != nil {
+		t.Fatalf("view image does not load: %v", err)
+	}
+}
+
+// TestCheckpointDamageRejected truncates and bit-flips a published checkpoint
+// at every byte; every damaged image must fail validation with an error,
+// never panic or load partially.
+func TestCheckpointDamageRejected(t *testing.T) {
+	img := testCheckpoint(7).append(nil)
+	for n := 0; n < len(img); n++ {
+		if c, err := decodeCheckpoint(img[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted: %+v", n, c)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 3000; trial++ {
+		mut := append([]byte(nil), img...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		if c, err := decodeCheckpoint(mut); err == nil && ckptEqual(c, testCheckpoint(7)) == false {
+			t.Fatal("bit flip accepted with altered content")
+		}
+	}
+}
+
+// TestCheckpointFallback damages the newest checkpoint; Scan must fall back
+// to the older one and report the skip.
+func TestCheckpointFallback(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open(Options{Dir: "d", FS: fs, Policy: SyncEachCommit}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, false, []Event{testEvent(i)})
+	}
+	if _, err := WriteCheckpoint(fs, "d", testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := WriteCheckpoint(fs, "d", testCheckpoint(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if !fs.FlipByte(join("d", newest), 20, 0x01) {
+		t.Fatal("flip failed")
+	}
+	rec, err := Scan(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.LSN != 5 {
+		t.Fatalf("fallback checkpoint: %+v", rec.Checkpoint)
+	}
+	if len(rec.SkippedCheckpoints) != 1 {
+		t.Fatalf("skipped checkpoints: %v", rec.SkippedCheckpoints)
+	}
+	// Replay resumes after the fallback checkpoint: records 5..9.
+	if len(rec.Records) != 5 || rec.Records[0].First != 5 || rec.NextLSN != 10 {
+		t.Fatalf("replay tail: %d records from %d to %d", len(rec.Records), rec.Records[0].First, rec.NextLSN)
+	}
+}
+
+// TestCheckpointTornWriteInvisible kills the writer inside a checkpoint
+// write; the half-written temp file must not surface as a checkpoint.
+func TestCheckpointTornWriteInvisible(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open(Options{Dir: "d", FS: fs, Policy: SyncEachCommit}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		mustAppend(t, l, false, []Event{testEvent(i)})
+	}
+	fs.KillAfter(100)
+	if _, err := WriteCheckpoint(fs, "d", testCheckpoint(4)); err == nil {
+		t.Fatal("torn checkpoint write succeeded")
+	}
+	fs.Crash()
+	rec, err := Scan(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil {
+		t.Fatalf("torn checkpoint visible: %+v", rec.Checkpoint)
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("log tail lost: %d records", len(rec.Records))
+	}
+}
+
+// TestGCRetention keeps the newest two checkpoints plus the segments needed
+// to replay from the older of them.
+func TestGCRetention(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open(Options{Dir: "d", FS: fs, Policy: SyncEachCommit}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ckptAt := 5; ckptAt <= 20; ckptAt += 5 {
+		for i := ckptAt - 5; i < ckptAt; i++ {
+			mustAppend(t, l, false, []Event{testEvent(i)})
+		}
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WriteCheckpoint(fs, "d", testCheckpoint(uint64(ckptAt))); err != nil {
+			t.Fatal(err)
+		}
+		oldest, err := GC(fs, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.RemoveSegmentsBelow(oldest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := fs.List("d")
+	var ckpts, segs int
+	for _, n := range names {
+		switch {
+		case len(n) > 5 && n[:5] == "ckpt-":
+			ckpts++
+		case len(n) > 4 && n[:4] == "wal-":
+			segs++
+		}
+	}
+	if ckpts != keepCheckpoints {
+		t.Fatalf("%d checkpoints retained, want %d", ckpts, keepCheckpoints)
+	}
+	// Retained: segments from LSN 15 (older kept checkpoint) on: wal-15, wal-20.
+	if segs != 2 {
+		t.Fatalf("%d segments retained, want 2: %v", segs, names)
+	}
+	l.Close()
+	rec, err := Scan(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.LSN != 20 || rec.NextLSN != 20 {
+		t.Fatalf("post-GC scan: %+v", rec)
+	}
+}

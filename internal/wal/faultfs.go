@@ -1,0 +1,313 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FaultFS is an in-memory filesystem that models crash behavior precisely
+// enough to drive the recovery property tests: every file carries a durable
+// image (what survives a crash) and a buffered image (writes not yet fsynced),
+// and the harness can kill the write path after a byte budget, drop all
+// unsynced data, or flip individual durable bytes. It implements FS, so the
+// log and checkpointer run against it unmodified.
+//
+// All methods are safe for concurrent use — the engine's background
+// checkpoint goroutine writes through the same FaultFS the test crashes from
+// under it, and the -race step pins that.
+type FaultFS struct {
+	mu    sync.Mutex
+	files map[string]*faultFile
+	dirs  map[string]bool
+	// budget is the number of bytes the write path may still accept; -1 means
+	// unlimited. A write that overruns the budget applies its allowed prefix
+	// and then fails, modeling a torn page at the kill point. Once the budget
+	// is exhausted every subsequent write, sync, create, rename and remove
+	// fails until Crash resets it.
+	budget int64
+	// crashed marks the window between exhausting the kill budget (or an
+	// explicit kill) and Crash(); no mutation succeeds in or after it until
+	// Crash re-arms the filesystem.
+	killed bool
+
+	// Counters for test assertions.
+	syncs   int64
+	writes  int64
+	written int64
+}
+
+type faultFile struct {
+	durable  []byte
+	buffered []byte // bytes written but not yet synced (suffix after durable)
+}
+
+// NewFaultFS returns an empty fault filesystem with an unlimited write budget.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: map[string]*faultFile{}, dirs: map[string]bool{}, budget: -1}
+}
+
+// KillAfter arms the fault: the write path accepts n more bytes, then every
+// mutation fails until Crash is called. Pass 0 to kill immediately.
+func (f *FaultFS) KillAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+	f.killed = false
+}
+
+// Crash simulates a machine crash: all unsynced bytes are dropped, open
+// handles are dead, and the fault is disarmed so the filesystem can be
+// reopened for recovery.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, file := range f.files {
+		file.buffered = nil
+	}
+	f.budget = -1
+	f.killed = false
+}
+
+// CrashClone simulates a crash and reboot onto the surviving state: it
+// returns a new FaultFS holding deep copies of every file's durable bytes
+// (buffered data is lost), and permanently kills this instance — in-flight
+// writers (the engine's background checkpointer) keep failing against the old
+// filesystem and can never touch the post-crash state recovery reads.
+func (f *FaultFS) CrashClone() *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nf := NewFaultFS()
+	for name, file := range f.files {
+		nf.files[name] = &faultFile{durable: append([]byte(nil), file.durable...)}
+	}
+	for d := range f.dirs {
+		nf.dirs[d] = true
+	}
+	f.killed = true
+	f.budget = 0
+	return nf
+}
+
+// BytesWritten returns the total bytes accepted by the write path, for
+// calibrating kill budgets.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// PartialFlush promotes up to n of name's buffered bytes to durable, in write
+// order — the OS writing back part of its page cache before the crash. This
+// is what makes torn tails reachable: a record written but not fsynced can
+// survive a crash in prefix form.
+func (f *FaultFS) PartialFlush(name string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, ok := f.files[name]
+	if !ok {
+		return
+	}
+	if n > len(file.buffered) {
+		n = len(file.buffered)
+	}
+	file.durable = append(file.durable, file.buffered[:n]...)
+	file.buffered = file.buffered[n:]
+}
+
+// UnsyncedFiles returns the sorted names of files with buffered (unsynced)
+// bytes, with the buffered byte count per file.
+func (f *FaultFS) UnsyncedFiles() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]int{}
+	for name, file := range f.files {
+		if len(file.buffered) > 0 {
+			out[name] = len(file.buffered)
+		}
+	}
+	return out
+}
+
+// FlipByte XORs mask into the durable byte at off of name, modeling silent
+// media corruption. It reports whether the byte existed.
+func (f *FaultFS) FlipByte(name string, off int, mask byte) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, ok := f.files[name]
+	if !ok || off < 0 || off >= len(file.durable) {
+		return false
+	}
+	file.durable[off] ^= mask
+	return true
+}
+
+// DurableSize returns the durable byte count of name, or -1 if it does not
+// exist.
+func (f *FaultFS) DurableSize(name string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, ok := f.files[name]
+	if !ok {
+		return -1
+	}
+	return int64(len(file.durable))
+}
+
+// Syncs returns the number of successful Sync calls, for group-commit
+// assertions.
+func (f *FaultFS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// consume charges n bytes against the kill budget and returns how many of
+// them may be applied. Caller holds f.mu.
+func (f *FaultFS) consume(n int) (allowed int, ok bool) {
+	if f.killed {
+		return 0, false
+	}
+	if f.budget < 0 {
+		return n, true
+	}
+	if int64(n) <= f.budget {
+		f.budget -= int64(n)
+		return n, true
+	}
+	allowed = int(f.budget)
+	f.budget = 0
+	f.killed = true
+	return allowed, false
+}
+
+func (f *FaultFS) checkAlive() error {
+	if f.killed {
+		return fmt.Errorf("faultfs: killed")
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	file := &faultFile{}
+	f.files[name] = file
+	return &faultHandle{fs: f, name: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	// Reads see the full logical file (durable + buffered), like a live OS
+	// page cache; only Crash discards the buffered part.
+	out := make([]byte, 0, len(file.durable)+len(file.buffered))
+	out = append(out, file.durable...)
+	return append(out, file.buffered...), nil
+}
+
+func (f *FaultFS) Rename(oldName, newName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	file, ok := f.files[oldName]
+	if !ok {
+		return fmt.Errorf("faultfs: %s: no such file", oldName)
+	}
+	delete(f.files, oldName)
+	f.files[newName] = file
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FaultFS) List(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prefix := strings.TrimSuffix(join(dir, "x"), "x")
+	var names []string
+	for name := range f.files {
+		if rest := strings.TrimPrefix(name, prefix); rest != name && !strings.ContainsRune(rest, '/') {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	f.dirs[dir] = true
+	return nil
+}
+
+type faultHandle struct {
+	fs     *FaultFS
+	name   string
+	closed bool
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	file, ok := h.fs.files[h.name]
+	if h.closed || !ok {
+		return 0, fmt.Errorf("faultfs: %s: write on closed or removed file", h.name)
+	}
+	allowed, ok := h.fs.consume(len(p))
+	file.buffered = append(file.buffered, p[:allowed]...)
+	h.fs.writes++
+	h.fs.written += int64(allowed)
+	if !ok {
+		return allowed, fmt.Errorf("faultfs: %s: killed after %d of %d bytes", h.name, allowed, len(p))
+	}
+	return allowed, nil
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkAlive(); err != nil {
+		return err
+	}
+	file, ok := h.fs.files[h.name]
+	if h.closed || !ok {
+		return fmt.Errorf("faultfs: %s: sync on closed or removed file", h.name)
+	}
+	file.durable = append(file.durable, file.buffered...)
+	file.buffered = nil
+	h.fs.syncs++
+	return nil
+}
+
+func (h *faultHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the log and checkpointer are written
+// against. Keeping it this small does two jobs: the crash-fault-injection
+// harness (FaultFS) can implement it exactly, byte for byte, and the durable
+// formats stay honest about what they assume from the platform — append-only
+// writes, explicit fsync, and atomic rename (the usual journaled-filesystem
+// contract; see docs/durability.md for the crash-consistency argument).
+//
+// Segment and checkpoint files are only ever appended by their creator and
+// never reopened for writing, so the interface has no seek, truncate or
+// read-write handles: mutation is Create-new-then-Rename.
+type FS interface {
+	// Create opens name for writing, truncating any existing file. Parent
+	// directories must already exist (see MkdirAll).
+	Create(name string) (File, error)
+	// ReadFile returns the full durable contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newName with oldName's file. The rename
+	// itself is assumed durable once a subsequent sync (of any file) returns.
+	Rename(oldName, newName string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// List returns the sorted base names of the files in dir.
+	List(dir string) ([]string, error)
+	// MkdirAll creates dir and its parents as needed.
+	MkdirAll(dir string) error
+}
+
+// File is a write-only handle with explicit durability.
+type File interface {
+	io.Writer
+	// Sync makes every byte written so far durable across a crash.
+	Sync() error
+	Close() error
+}
+
+// DiskFS returns the real operating-system filesystem.
+func DiskFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldName, newName string) error { return os.Rename(oldName, newName) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// join builds FS paths; all FS implementations use the host separator.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,512 @@
+// Package wal gives the engine durable state: a write-ahead event log with
+// group commit and periodic snapshot checkpoints of every view's flat store.
+//
+// The log is a sequence of append-only segment files (`wal-<first LSN>.log`)
+// holding length-prefixed, CRC-32C-checksummed records; each record frames
+// one commit unit — a single event or a whole batch window — so a batched
+// apply amortizes to one append and (under group commit) one fsync. LSNs
+// number logged events, not records. Checkpoints (`ckpt-<LSN>.ckpt`)
+// serialize each view's frozen flat store near-verbatim from an engine
+// snapshot, concurrently with the writer, and bound replay: recovery loads
+// the newest valid checkpoint (falling back to an older one if the newest is
+// damaged) and replays the log tail after it, truncating a torn tail while
+// treating a bad record with valid records after it as corruption. The
+// crash-consistency contract and formats are documented in
+// docs/durability.md; FaultFS is the in-process crash harness the recovery
+// property tests inject through.
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records become durable.
+type SyncPolicy int
+
+const (
+	// SyncEachCommit fsyncs after every Append — one sync per commit unit,
+	// so a batch window is still one sync (group commit at batch
+	// granularity).
+	SyncEachCommit SyncPolicy = iota
+	// SyncInterval fsyncs at most once per configured interval: appends
+	// between syncs ride the next one, bounding data loss by the interval
+	// instead of paying a sync per commit.
+	SyncInterval
+	// SyncNone never fsyncs on the append path; only Rotate, Checkpoint and
+	// Close force durability. Crash loss is unbounded.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEachCommit:
+		return "commit"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the string forms used by command-line flags.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return SyncEachCommit, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("unknown sync policy %q (want commit, interval or none)", s)
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segments and checkpoints.
+	Dir string
+	// FS is the filesystem to write through; nil means the real disk.
+	FS FS
+	// Policy selects the sync policy; the zero value is SyncEachCommit.
+	Policy SyncPolicy
+	// Interval is the group-commit window for SyncInterval; 0 means 10ms.
+	Interval time.Duration
+}
+
+const defaultSyncInterval = 10 * time.Millisecond
+
+// logQueueDepth bounds the async pipeline: a full queue back-pressures the
+// writer instead of buffering unbounded un-durable state.
+const logQueueDepth = 256
+
+// logTask is one unit of work for the logger goroutine: a record to encode
+// and write, or (events nil) a barrier — sync the segment, optionally swap to
+// a new one, and reply.
+type logTask struct {
+	// Record task (events non-nil): one commit unit to encode and write.
+	batch  bool
+	first  uint64
+	events []Event
+
+	// Barrier tasks (events nil), in precedence order: closeSeg syncs and
+	// closes the segment and stops the logger; rotateTo syncs, closes and
+	// opens the named segment; sync flushes unsynced writes. reply, when
+	// non-nil, receives the barrier's error after everything enqueued before
+	// it has been handled.
+	sync     bool
+	rotateTo string
+	closeSeg bool
+	reply    chan error
+}
+
+// Log is the write side of the event log. One goroutine appends (the engine's
+// writer). Under SyncEachCommit the append path is synchronous — the record
+// is on disk when Append returns, which is that policy's whole point. Under
+// SyncInterval and SyncNone, Append only stamps LSNs and hands the commit
+// unit to the logger goroutine, which encodes and writes in enqueue order —
+// the classic group-commit log buffer: serialization and I/O overlap with
+// execution, durability lags by at most the queue plus (for SyncInterval) the
+// sync interval, and the durable log is always an ordered prefix of the
+// committed units. Write failures park in syncErr and surface on the next
+// Append.
+type Log struct {
+	fs       FS
+	dir      string
+	policy   SyncPolicy
+	interval time.Duration
+
+	mu      sync.Mutex
+	nextLSN uint64
+	closed  bool
+	syncErr error // sticky logger/sync failure, surfaced on next Append
+
+	// Synchronous-path state (SyncEachCommit); owned by the logger goroutine
+	// for the async policies, where the queue's barrier tasks serialize all
+	// access.
+	seg      File
+	segName  string
+	buf      []byte
+	unsynced bool
+
+	queue chan logTask // nil under SyncEachCommit
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates (or reuses) dir and starts a fresh segment at nextLSN.
+// Existing segments are left untouched — after recovery the writer resumes
+// into a new segment rather than appending to an old one, so no file is ever
+// reopened for writing.
+func Open(opts Options, nextLSN uint64) (*Log, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = DiskFS()
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty directory")
+	}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = defaultSyncInterval
+	}
+	l := &Log{
+		fs:       fs,
+		dir:      opts.Dir,
+		policy:   opts.Policy,
+		interval: interval,
+		nextLSN:  nextLSN,
+		stop:     make(chan struct{}),
+	}
+	if err := l.openSegment(segmentName(l.nextLSN)); err != nil {
+		return nil, err
+	}
+	if l.policy != SyncEachCommit {
+		l.queue = make(chan logTask, logQueueDepth)
+		l.wg.Add(1)
+		go l.logger()
+	}
+	if l.policy == SyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func segmentName(first uint64) string { return fmt.Sprintf("wal-%016x.log", first) }
+
+func checkpointName(lsn uint64) string { return fmt.Sprintf("ckpt-%016x.ckpt", lsn) }
+
+// openSegment starts the named segment. Called by the constructor and — for
+// the async policies — by the logger goroutine on rotation; under
+// SyncEachCommit the caller holds l.mu.
+func (l *Log) openSegment(name string) error {
+	f, err := l.fs.Create(join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	l.seg = f
+	l.segName = name
+	return nil
+}
+
+// fail parks the first failure for the writer's next Append to surface.
+func (l *Log) fail(err error) {
+	l.mu.Lock()
+	if l.syncErr == nil {
+		l.syncErr = err
+	}
+	l.mu.Unlock()
+}
+
+func (l *Log) sticky() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
+// syncSeg flushes the segment if it has unsynced writes. Logger-goroutine
+// state under the async policies; called under l.mu for SyncEachCommit.
+func (l *Log) syncSeg() error {
+	if !l.unsynced {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.unsynced = false
+	return nil
+}
+
+// logger owns the segment handle under the async policies: it encodes and
+// writes records in enqueue (= LSN) order and executes barrier tasks. After a
+// failed record write the segment tail is torn, so subsequent records are
+// dropped rather than written after the tear — the durable log stays a clean
+// prefix of the committed units and the failure surfaces on the writer's next
+// Append. Barriers always reply, even when poisoned, so Sync/Rotate/Close
+// never hang.
+func (l *Log) logger() {
+	defer l.wg.Done()
+	var buf []byte
+	for task := range l.queue {
+		switch {
+		case task.events != nil:
+			if l.sticky() != nil {
+				continue
+			}
+			buf = appendRecord(buf[:0], task.batch, task.first, task.events)
+			if _, err := l.seg.Write(buf); err != nil {
+				l.fail(fmt.Errorf("wal: append: %w", err))
+				continue
+			}
+			l.unsynced = true
+		case task.closeSeg:
+			err := l.syncSeg()
+			if cerr := l.seg.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("wal: close segment %s: %w", l.segName, cerr)
+			}
+			if serr := l.sticky(); serr != nil {
+				err = serr
+			}
+			task.reply <- err
+			return
+		case task.rotateTo != "":
+			err := l.syncSeg()
+			if err == nil {
+				if cerr := l.seg.Close(); cerr != nil {
+					err = fmt.Errorf("wal: close segment %s: %w", l.segName, cerr)
+				} else {
+					err = l.openSegment(task.rotateTo)
+				}
+			}
+			if err != nil {
+				l.fail(err)
+			}
+			if serr := l.sticky(); serr != nil {
+				err = serr
+			}
+			task.reply <- err
+		case task.sync:
+			err := l.syncSeg()
+			if task.reply == nil {
+				// Interval-timer tick: park the failure instead of replying.
+				if err != nil {
+					l.fail(err)
+				}
+				continue
+			}
+			if serr := l.sticky(); serr != nil {
+				err = serr
+			}
+			task.reply <- err
+		}
+	}
+}
+
+// syncLoop is the SyncInterval group-commit timer: each tick enqueues a sync
+// task behind whatever records are already queued, so the flush covers them.
+// A full queue means the logger is saturated; the backlog rides a later tick.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			select {
+			case l.queue <- logTask{sync: true}:
+			default:
+			}
+		}
+	}
+}
+
+// NextLSN returns the LSN the next appended event will carry.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Append frames events as one commit unit and commits it to the log, returning
+// the record's first LSN. Under SyncEachCommit the record is written and
+// fsynced before Append returns; on error the LSN counter is unchanged and
+// nothing was committed — the caller must not execute the events. Under
+// SyncInterval and SyncNone the unit is handed to the logger goroutine:
+// Append assigns LSNs and returns once the copy is enqueued, the record
+// reaches disk asynchronously in LSN order, and a failed write surfaces on a
+// subsequent Append, Sync, Rotate or Close — losing the queued suffix in a
+// crash is the same contract as losing an unsynced tail.
+func (l *Log) Append(batch bool, events []Event) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if err := l.syncErr; err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: logger failed: %w", err)
+	}
+	first := l.nextLSN
+	if len(events) == 0 {
+		l.mu.Unlock()
+		return first, nil
+	}
+	if l.queue == nil {
+		defer l.mu.Unlock()
+		l.buf = appendRecord(l.buf[:0], batch, first, events)
+		if _, err := l.seg.Write(l.buf); err != nil {
+			// A short write leaves a torn record at the segment tail; recovery
+			// truncates it. The events were never committed.
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+		l.unsynced = true
+		if err := l.seg.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+		l.unsynced = false
+		l.nextLSN = first + uint64(len(events))
+		return first, nil
+	}
+	l.nextLSN = first + uint64(len(events))
+	l.mu.Unlock()
+	// The caller reuses its events slice across commits, so the logger gets a
+	// copy — that copy (plus the channel send) is the writer thread's whole
+	// per-commit cost; encoding and I/O happen on the logger.
+	l.queue <- logTask{batch: batch, first: first, events: append([]Event(nil), events...)}
+	return first, nil
+}
+
+// Sync forces everything appended so far to durable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: sync on closed log")
+	}
+	if l.queue == nil {
+		defer l.mu.Unlock()
+		return l.syncSeg()
+	}
+	l.mu.Unlock()
+	reply := make(chan error, 1)
+	l.queue <- logTask{sync: true, reply: reply}
+	return <-reply
+}
+
+// Rotate syncs and closes the current segment and starts a new one at the
+// current LSN. The checkpointer rotates at its snapshot LSN so that segment
+// boundaries align with checkpoint boundaries and whole segments become
+// garbage-collectable. Under the async policies this is a barrier: every
+// record appended before the rotation is durable in the old segment when
+// Rotate returns.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: rotate on closed log")
+	}
+	name := segmentName(l.nextLSN)
+	if l.queue == nil {
+		defer l.mu.Unlock()
+		if err := l.syncSeg(); err != nil {
+			return err
+		}
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: close segment %s: %w", l.segName, err)
+		}
+		return l.openSegment(name)
+	}
+	l.mu.Unlock()
+	reply := make(chan error, 1)
+	l.queue <- logTask{rotateTo: name, reply: reply}
+	return <-reply
+}
+
+// RemoveSegmentsBelow garbage-collects segments whose every record carries an
+// LSN below lsn — that is, segments wholly covered by a retained checkpoint.
+// A segment's span is bounded by the next segment's first LSN, so the newest
+// segment is never removed.
+func (l *Log) RemoveSegmentsBelow(lsn uint64) error {
+	l.mu.Lock()
+	fs, dir := l.fs, l.dir
+	l.mu.Unlock()
+	names, err := fs.List(dir)
+	if err != nil {
+		return fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	segs := segmentLSNs(names)
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].lsn <= lsn {
+			if err := fs.Remove(join(dir, segs[i].name)); err != nil {
+				return fmt.Errorf("wal: remove %s: %w", segs[i].name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close drains the pipeline, syncs and closes the log. It reports the first
+// failure the logger parked, so a write error under the async policies is
+// never silently dropped at shutdown.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	if l.queue != nil {
+		reply := make(chan error, 1)
+		l.queue <- logTask{closeSeg: true, reply: reply}
+		err := <-reply
+		l.wg.Wait()
+		return err
+	}
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.syncSeg()
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// named is a (file name, LSN parsed from the name) pair.
+type named struct {
+	name string
+	lsn  uint64
+}
+
+func parseLSNName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+func segmentLSNs(names []string) []named {
+	var out []named
+	for _, n := range names {
+		if lsn, ok := parseLSNName(n, "wal-", ".log"); ok {
+			out = append(out, named{n, lsn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lsn < out[j].lsn })
+	return out
+}
+
+func checkpointLSNs(names []string) []named {
+	var out []named
+	for _, n := range names {
+		if lsn, ok := parseLSNName(n, "ckpt-", ".ckpt"); ok {
+			out = append(out, named{n, lsn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lsn < out[j].lsn })
+	return out
+}

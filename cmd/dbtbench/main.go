@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbtbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time")
+	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time | mqo")
 	queries := fs.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := fs.Float64("scale", 0.25, "stream scale factor")
 	budget := fs.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -42,6 +42,8 @@ func run(args []string) error {
 	guard := fs.String("guard", "", "comma-separated queries the batch_scaling guard enforces (empty = report only)")
 	walFlag := fs.String("wal", "", "log directory for the durability experiments (empty = per-cell temp dirs; \"mem\" = in-memory filesystem for wal_overhead, isolating the software path from the device)")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "checkpoint interval in events for recovery_time (0 = sweep log-only, coarse and fine)")
+	sizesFlag := fs.String("sizes", "", "comma-separated query-set sizes for the mqo experiment (default 1,4,9,18)")
+	jsonOut := fs.String("json", "", "write the mqo experiment results as JSON to this path (the BENCH_mqo.json artifact)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,6 +156,34 @@ func run(args []string) error {
 			if r.Err != nil {
 				return fmt.Errorf("recovery_time %s ckpt=%d: %w", r.Query, r.CkptEvery, r.Err)
 			}
+		}
+	case "mqo":
+		order := pick(bench.MQOOrder)
+		sizes := bench.MQOSizes
+		if *sizesFlag != "" {
+			sizes = nil
+			for _, s := range strings.Split(*sizesFlag, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+					return fmt.Errorf("bad -sizes entry %q", s)
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		modes := []compiler.Mode{compiler.ModeDBToaster, compiler.ModeIVM}
+		results := bench.MQO(sizes, modes, order, opts)
+		fmt.Println("Multi-query optimization — hash-consed shared engine vs one engine per query:")
+		fmt.Print(bench.FormatMQOTable(results))
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("mqo %s k=%d: %w", r.Mode, r.SetSize, r.Err)
+			}
+		}
+		if *jsonOut != "" {
+			if err := bench.WriteMQOJSON(*jsonOut, results, opts); err != nil {
+				return err
+			}
+			fmt.Printf("results written to %s\n", *jsonOut)
 		}
 	case "fig2_features":
 		infos, err := bench.CompileAll()

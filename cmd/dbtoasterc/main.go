@@ -8,11 +8,20 @@
 //
 //	dbtoasterc [-mode dbtoaster|ivm|rep|naive] -sql file.sql [file2.sql ...]
 //	dbtoasterc [-mode ...] <query-name> [query-name ...]
+//	dbtoasterc [-mode ...] -shared <query-name|file.sql> ...
 //	dbtoasterc -list
 //
 // A -sql argument of "-" reads the script from standard input. Each SQL file
 // is a self-contained script: CREATE STREAM/TABLE declarations followed by
 // one or more SELECT queries (see docs/sql.md for the grammar).
+//
+// With -shared, every given query — all workload names, or all SELECTs of all
+// given SQL scripts compiled against their merged catalogs — is compiled into
+// ONE trigger program with hash-consed maps (docs/mqo.md): alpha-equivalent
+// map definitions across queries are materialized once and their maintenance
+// is emitted once. The output ends with the shared-map report: total maps
+// versus what disjoint per-query compilation would maintain, and the
+// per-query map attribution.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"strings"
 
 	"dbtoaster/internal/agca"
+	"dbtoaster/internal/catalog"
 	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/sql"
 	"dbtoaster/internal/workload"
@@ -41,6 +51,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dbtoasterc", flag.ContinueOnError)
 	mode := fs.String("mode", "dbtoaster", "compilation strategy: dbtoaster, ivm, rep, naive")
 	useSQL := fs.Bool("sql", false, "arguments are SQL files to compile ('-' reads stdin)")
+	shared := fs.Bool("shared", false, "compile all given queries into one program with hash-consed shared maps and print the shared-map report")
 	list := fs.Bool("list", false, "list the available workload queries and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +80,9 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	if *shared {
+		return compileShared(fs.Args(), *useSQL, m)
+	}
 	if *useSQL {
 		for _, path := range fs.Args() {
 			if err := compileSQLFile(path, m); err != nil {
@@ -92,9 +106,60 @@ func run(args []string) error {
 	return nil
 }
 
-// compileSQLFile parses one SQL script and prints the trigger program of
-// every SELECT it contains.
-func compileSQLFile(path string, m compiler.Mode) error {
+// compileShared compiles all given queries — workload names, or the SELECTs
+// of all given SQL scripts against their merged catalogs — into one trigger
+// program with hash-consed shared maps, and prints the program followed by
+// the shared-map report.
+func compileShared(args []string, useSQL bool, m compiler.Mode) error {
+	var queries []compiler.Query
+	var cat *catalog.Catalog
+	if useSQL {
+		cat = catalog.New()
+		for _, path := range args {
+			script, base, err := parseSQLFile(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fileCat, err := script.Catalog()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if err := cat.Merge(fileCat); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			qs, err := script.Queries(base)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			for _, q := range qs {
+				queries = append(queries, compiler.Query{Name: q.Name, Expr: q.Expr})
+			}
+		}
+		if len(queries) == 0 {
+			return fmt.Errorf("no SELECT statement found")
+		}
+	} else {
+		ms, err := workload.Combine(args)
+		if err != nil {
+			return err
+		}
+		queries, cat = ms.Queries, ms.Catalog
+	}
+	for _, q := range queries {
+		fmt.Printf("-- query %s (AGCA): %s\n", q.Name, agca.String(q.Expr))
+	}
+	prog, rep, err := compiler.CompileSet(queries, cat, compiler.OptionsFor(m))
+	if err != nil {
+		return err
+	}
+	fmt.Println(prog.String())
+	fmt.Print(rep.String())
+	return nil
+}
+
+// parseSQLFile reads and parses one SQL script, returning it with the base
+// name its queries are named after.
+func parseSQLFile(path string) (*sql.Script, string, error) {
 	var src []byte
 	var base string
 	var err error
@@ -106,9 +171,19 @@ func compileSQLFile(path string, m compiler.Mode) error {
 		base = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	}
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	script, err := sql.Parse(string(src))
+	if err != nil {
+		return nil, "", err
+	}
+	return script, base, nil
+}
+
+// compileSQLFile parses one SQL script and prints the trigger program of
+// every SELECT it contains.
+func compileSQLFile(path string, m compiler.Mode) error {
+	script, base, err := parseSQLFile(path)
 	if err != nil {
 		return err
 	}

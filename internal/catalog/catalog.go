@@ -71,6 +71,32 @@ func (c *Catalog) Relations() []Relation {
 	return out
 }
 
+// Merge adds every relation of other into c. Relations present in both must
+// agree exactly (same columns in the same order, same static flag) — the
+// multi-query path merges per-group catalogs this way, and a silent schema
+// conflict would compile one query against another's columns.
+func (c *Catalog) Merge(other *Catalog) error {
+	for _, r := range other.Relations() {
+		have, ok := c.rels[r.Name]
+		if !ok {
+			c.rels[r.Name] = Relation{Name: r.Name, Columns: append([]string(nil), r.Columns...), Static: r.Static}
+			continue
+		}
+		if have.Static != r.Static {
+			return fmt.Errorf("catalog: relation %q is static in one catalog and dynamic in the other", r.Name)
+		}
+		if len(have.Columns) != len(r.Columns) {
+			return fmt.Errorf("catalog: relation %q has conflicting schemas %v vs %v", r.Name, have.Columns, r.Columns)
+		}
+		for i := range have.Columns {
+			if have.Columns[i] != r.Columns[i] {
+				return fmt.Errorf("catalog: relation %q has conflicting schemas %v vs %v", r.Name, have.Columns, r.Columns)
+			}
+		}
+	}
+	return nil
+}
+
 // Clone returns a copy of the catalog.
 func (c *Catalog) Clone() *Catalog {
 	out := New()

@@ -1,0 +1,89 @@
+package compiler
+
+import (
+	"testing"
+
+	"dbtoaster/internal/agca"
+)
+
+// The canonicalizer's contract: CanonicalKey(a, ka) == CanonicalKey(b, kb)
+// exactly when the two map definitions are alpha-equivalent (modulo Sum-term
+// order) and the key lists correspond under the same renaming. Hits make maps
+// shareable; near-misses must NOT collide — a false positive would silently
+// merge maps with different contents.
+
+func TestCanonicalKeyAlphaEquivalence(t *testing.T) {
+	a := agca.SumOver([]string{"p"}, agca.Mul(
+		agca.R("BIDS", "t", "id", "b", "p", "v"), agca.V("v")))
+	b := agca.SumOver([]string{"x_price"}, agca.Mul(
+		agca.R("BIDS", "x_t", "x_id", "x_broker", "x_price", "x_vol"), agca.V("x_vol")))
+	if CanonicalKey(a, []string{"p"}) != CanonicalKey(b, []string{"x_price"}) {
+		t.Errorf("alpha-renamed definitions should share a canonical key:\n%s\n%s",
+			CanonicalKey(a, []string{"p"}), CanonicalKey(b, []string{"x_price"}))
+	}
+}
+
+func TestCanonicalKeySumTermOrder(t *testing.T) {
+	t1 := agca.Mul(agca.R("R", "a"), agca.V("a"))
+	t2 := agca.Mul(agca.R("S", "b"), agca.V("b"))
+	x := agca.SumOver(nil, agca.Add(t1, t2))
+	y := agca.SumOver(nil, agca.Add(t2, t1))
+	if CanonicalKey(x, nil) != CanonicalKey(y, nil) {
+		t.Errorf("Sum-term order should not change the canonical key:\n%s\n%s",
+			CanonicalKey(x, nil), CanonicalKey(y, nil))
+	}
+}
+
+func TestCanonicalKeyNearMisses(t *testing.T) {
+	base := agca.SumOver([]string{"p"}, agca.Mul(
+		agca.R("BIDS", "t", "id", "b", "p", "v"), agca.V("v")))
+	baseKey := CanonicalKey(base, []string{"p"})
+
+	cases := []struct {
+		name string
+		def  agca.Expr
+		keys []string
+	}{
+		{"different relation", agca.SumOver([]string{"p"},
+			agca.Mul(agca.R("ASKS", "t", "id", "b", "p", "v"), agca.V("v"))), []string{"p"}},
+		{"different aggregated column", agca.SumOver([]string{"p"},
+			agca.Mul(agca.R("BIDS", "t", "id", "b", "p", "v"), agca.V("p"))), []string{"p"}},
+		{"different group-by", agca.SumOver([]string{"b"},
+			agca.Mul(agca.R("BIDS", "t", "id", "b", "p", "v"), agca.V("v"))), []string{"b"}},
+		{"extra predicate", agca.SumOver([]string{"p"},
+			agca.Mul(agca.R("BIDS", "t", "id", "b", "p", "v"),
+				agca.Gt(agca.V("v"), agca.C(100)), agca.V("v"))), []string{"p"}},
+		{"different constant", agca.SumOver([]string{"p"},
+			agca.Mul(agca.R("BIDS", "t", "id", "b", "p", "v"),
+				agca.Gt(agca.V("v"), agca.C(200)), agca.V("v"))), []string{"p"}},
+	}
+	for _, tc := range cases {
+		if CanonicalKey(tc.def, tc.keys) == baseKey {
+			t.Errorf("%s: near-miss collided with the base key %s", tc.name, baseKey)
+		}
+	}
+	// The two predicate variants must also differ from each other.
+	if CanonicalKey(cases[3].def, cases[3].keys) == CanonicalKey(cases[4].def, cases[4].keys) {
+		t.Error("definitions differing only in a literal constant must not collide")
+	}
+}
+
+func TestCanonicalKeyKeyOrder(t *testing.T) {
+	def := agca.SumOver([]string{"a", "b"}, agca.R("R", "a", "b"))
+	if CanonicalKey(def, []string{"a", "b"}) == CanonicalKey(def, []string{"b", "a"}) {
+		t.Error("key order is positional: permuted key lists must not collide")
+	}
+}
+
+func TestCanonicalKeyComparisonDirection(t *testing.T) {
+	// {x > y} vs {y > x} over the same relation columns: alpha-renaming maps
+	// both to v-numbered variables, but the comparison binds different
+	// columns, so the keys must differ.
+	gt := agca.SumOver(nil, agca.Mul(
+		agca.R("R", "x", "y"), agca.Gt(agca.V("x"), agca.V("y"))))
+	lt := agca.SumOver(nil, agca.Mul(
+		agca.R("R", "x", "y"), agca.Gt(agca.V("y"), agca.V("x"))))
+	if CanonicalKey(gt, nil) == CanonicalKey(lt, nil) {
+		t.Error("swapped comparison operands must not collide")
+	}
+}

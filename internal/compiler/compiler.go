@@ -88,59 +88,27 @@ type Query struct {
 
 // Compile produces the trigger program maintaining q under the given options.
 func Compile(q Query, cat *catalog.Catalog, opts Options) (*trigger.Program, error) {
-	if q.Expr == nil {
-		return nil, fmt.Errorf("compiler: query %q has no expression", q.Name)
+	c := newCompileState(cat, opts, canonicalDef)
+	if err := c.compileQuery(q); err != nil {
+		return nil, err
 	}
-	expr := opt.Simplify(q.Expr)
-	if in := agca.InputVars(expr, agca.VarSet{}); len(in) > 0 {
-		return nil, fmt.Errorf("compiler: query %q has unbound parameters %v", q.Name, in.Sorted())
-	}
-	for _, r := range agca.Relations(expr) {
-		if !cat.Has(r) {
-			return nil, fmt.Errorf("compiler: query %q references unknown relation %q", q.Name, r)
-		}
-	}
-	c := &compileState{
-		cat:       cat,
-		opts:      opts,
-		mapByDef:  map[string]string{},
-		defs:      map[string]*trigger.MapDef{},
-		processed: map[string]bool{},
-		stmts:     map[string][]trigger.Statement{},
-		stmtSeen:  map[string]bool{},
-	}
-
-	resultName := sanitizeName(q.Name)
-	if resultName == "" {
-		resultName = "Q"
-	}
-	resultKeys := agca.OutputVars(expr, agca.VarSet{})
-	c.registerNamedMap(resultName, resultKeys, expr, 0)
-	c.enqueue(resultName)
-
-	for len(c.queue) > 0 {
-		name := c.queue[0]
-		c.queue = c.queue[1:]
-		if c.processed[name] {
-			continue
-		}
-		c.processed[name] = true
-		if err := c.processMap(name); err != nil {
-			return nil, fmt.Errorf("compiler: query %q: %w", q.Name, err)
-		}
-	}
-
-	prog, err := c.assemble(q.Name, resultName, resultKeys)
+	prog, err := c.assemble()
 	if err != nil {
 		return nil, fmt.Errorf("compiler: query %q: %w", q.Name, err)
 	}
 	return prog, nil
 }
 
-// compileState carries the mutable state of one compilation.
+// compileState carries the mutable state of one compilation. CompileSet
+// shares one state across a whole query set, which is what makes maps with
+// equal canonical definitions materialize (and be maintained) exactly once.
 type compileState struct {
 	cat  *catalog.Catalog
 	opts Options
+	// canon computes the duplicate-view-elimination key of a (definition,
+	// keys) pair. Single-query compilation uses canonicalDef (stable map
+	// numbering); CompileSet uses the stronger alpha-renaming CanonicalKey.
+	canon func(def agca.Expr, keys []string) string
 
 	mapByDef  map[string]string          // canonical definition -> map name
 	defs      map[string]*trigger.MapDef // map name -> definition
@@ -151,6 +119,85 @@ type compileState struct {
 
 	stmts    map[string][]trigger.Statement // trigger key (+R / -R) -> statements
 	stmtSeen map[string]bool                // dedup of (trigger, statement) pairs
+
+	queries []trigger.QueryDef // one entry per compiled query, in order
+}
+
+func newCompileState(cat *catalog.Catalog, opts Options, canon func(agca.Expr, []string) string) *compileState {
+	return &compileState{
+		cat:       cat,
+		opts:      opts,
+		canon:     canon,
+		mapByDef:  map[string]string{},
+		defs:      map[string]*trigger.MapDef{},
+		processed: map[string]bool{},
+		stmts:     map[string][]trigger.Statement{},
+		stmtSeen:  map[string]bool{},
+	}
+}
+
+// compileQuery registers one query's result map (or aliases it onto an
+// already-materialized map with the same canonical definition) and drains the
+// materialization queue, generating maintenance for every newly registered
+// map.
+func (c *compileState) compileQuery(q Query) error {
+	if q.Expr == nil {
+		return fmt.Errorf("compiler: query %q has no expression", q.Name)
+	}
+	for _, prev := range c.queries {
+		if prev.Name == q.Name {
+			return fmt.Errorf("compiler: duplicate query name %q", q.Name)
+		}
+	}
+	expr := opt.Simplify(q.Expr)
+	if in := agca.InputVars(expr, agca.VarSet{}); len(in) > 0 {
+		return fmt.Errorf("compiler: query %q has unbound parameters %v", q.Name, in.Sorted())
+	}
+	for _, r := range agca.Relations(expr) {
+		if !c.cat.Has(r) {
+			return fmt.Errorf("compiler: query %q references unknown relation %q", q.Name, r)
+		}
+	}
+
+	resultKeys := []string(agca.OutputVars(expr, agca.VarSet{}))
+	resultName := ""
+	if existing, ok := c.mapByDef[c.canon(expr, resultKeys)]; ok {
+		// The whole query is an alias of a map an earlier query already
+		// materializes (its result, or one of its auxiliary views).
+		resultName = existing
+	} else {
+		resultName = sanitizeName(q.Name)
+		if resultName == "" {
+			resultName = "Q"
+		}
+		for i := 2; ; i++ {
+			if _, taken := c.defs[resultName]; !taken {
+				break
+			}
+			resultName = fmt.Sprintf("%s_%d", sanitizeName(q.Name), i)
+		}
+		c.registerNamedMap(resultName, resultKeys, expr, 0)
+		c.enqueue(resultName)
+	}
+
+	for len(c.queue) > 0 {
+		name := c.queue[0]
+		c.queue = c.queue[1:]
+		if c.processed[name] {
+			continue
+		}
+		c.processed[name] = true
+		if err := c.processMap(name); err != nil {
+			return fmt.Errorf("compiler: query %q: %w", q.Name, err)
+		}
+	}
+
+	c.queries = append(c.queries, trigger.QueryDef{
+		Name:       q.Name,
+		ResultMap:  resultName,
+		ResultKeys: resultKeys,
+	})
+	return nil
 }
 
 func (c *compileState) enqueue(name string) {
@@ -163,13 +210,13 @@ func (c *compileState) registerNamedMap(name string, keys []string, def agca.Exp
 	md := &trigger.MapDef{Name: name, Keys: append([]string(nil), keys...), Definition: def, Depth: depth}
 	c.defs[name] = md
 	c.order = append(c.order, name)
-	c.mapByDef[canonicalDef(def, keys)] = name
+	c.mapByDef[c.canon(def, keys)] = name
 }
 
 // registerMap registers (or reuses) a materialized view for the given
 // definition and key variables, returning its name.
 func (c *compileState) registerMap(def agca.Expr, keys []string, depth int) string {
-	canon := canonicalDef(def, keys)
+	canon := c.canon(def, keys)
 	if name, ok := c.mapByDef[canon]; ok {
 		if existing := c.defs[name]; depth < existing.Depth {
 			existing.Depth = depth
@@ -178,6 +225,10 @@ func (c *compileState) registerMap(def agca.Expr, keys []string, depth int) stri
 	}
 	c.counter++
 	name := fmt.Sprintf("M%d", c.counter)
+	for c.defs[name] != nil { // a query result may occupy the name
+		c.counter++
+		name = fmt.Sprintf("M%d", c.counter)
+	}
 	md := &trigger.MapDef{Name: name, Keys: append([]string(nil), keys...), Definition: def, Depth: depth}
 	c.defs[name] = md
 	c.order = append(c.order, name)
@@ -473,12 +524,18 @@ func canonicalDef(def agca.Expr, keys []string) string {
 	return canon + " @ [" + strings.Join(renKeys, ",") + "]"
 }
 
-// assemble builds the final Program from the collected state.
-func (c *compileState) assemble(queryName, resultName string, resultKeys []string) (*trigger.Program, error) {
+// assemble builds the final Program from the collected state. The first
+// compiled query provides the program's primary result fields; every query's
+// definition (with its map attribution) is recorded in Program.Queries.
+func (c *compileState) assemble() (*trigger.Program, error) {
+	if len(c.queries) == 0 {
+		return nil, fmt.Errorf("no queries compiled")
+	}
+	first := c.queries[0]
 	prog := &trigger.Program{
-		QueryName:  queryName,
-		ResultMap:  resultName,
-		ResultKeys: resultKeys,
+		QueryName:  first.Name,
+		ResultMap:  first.ResultMap,
+		ResultKeys: first.ResultKeys,
 		Relations:  map[string][]string{},
 	}
 	for _, name := range c.order {
@@ -533,5 +590,36 @@ func (c *compileState) assemble(queryName, resultName string, resultKeys []strin
 		}
 	}
 	prog.SortStatements()
+
+	// Per-query map attribution: the maps a query depends on are those
+	// reachable from its result map through the statements' map references
+	// (the result map itself included). This is what the shared-view
+	// reference counts and the per-query memory reports are built from.
+	reads := map[string][]string{} // target map -> maps its statements read
+	for _, t := range prog.Triggers {
+		for _, s := range t.Stmts {
+			reads[s.TargetMap] = append(reads[s.TargetMap], agca.MapRefs(s.RHS)...)
+		}
+	}
+	prog.Queries = make([]trigger.QueryDef, len(c.queries))
+	for i, q := range c.queries {
+		seen := map[string]bool{}
+		stack := []string{q.ResultMap}
+		for len(stack) > 0 {
+			name := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[name] || c.defs[name] == nil {
+				continue
+			}
+			seen[name] = true
+			stack = append(stack, reads[name]...)
+		}
+		q.Maps = make([]string, 0, len(seen))
+		for name := range seen {
+			q.Maps = append(q.Maps, name)
+		}
+		sort.Strings(q.Maps)
+		prog.Queries[i] = q
+	}
 	return prog, nil
 }

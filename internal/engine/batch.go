@@ -51,11 +51,15 @@ func (b *Batch) Len() int { return b.n }
 // the conflict analysis verdict plus per-statement fast-path information.
 type relationPlan struct {
 	// class is the batch-execution class of the relation's triggers
-	// (trigger.Program.RelationBatchClass): BatchCommute groups batch fully,
+	// (trigger.Program.RelationBatchSplit): BatchCommute groups batch,
 	// BatchReevalTail groups batch their increments and run the replacement
 	// tail once per window, BatchNone groups fall back to sequential
-	// per-event execution. Downgraded to BatchNone when a target map does not
-	// resolve to a view.
+	// per-event execution. The split is statement-granular: a trigger may
+	// carry a conflict closure (triggerPlan.seq) that replays per-event while
+	// the remaining statements batch — in a merged multi-query program one
+	// query's conflicting statements no longer sink every query sharing the
+	// trigger. Downgraded to BatchNone when a target map does not resolve to
+	// a view.
 	class  trigger.BatchClass
 	insert *triggerPlan
 	delete *triggerPlan
@@ -74,6 +78,12 @@ type triggerPlan struct {
 	// stmts[incEnd:] the replacement tail a BatchReevalTail group runs once
 	// per window.
 	incEnd int
+	// seq holds the indices of the conflict-closure statements (within
+	// stmts[:incEnd]) that must keep per-event semantics: they read maps the
+	// window writes, so batched windows replay them sequentially before the
+	// batched phase. The closure and the batched set share no maps, so the
+	// two phases commute.
+	seq []int
 	// hasBlock is true when at least one increment lowered to a block
 	// executor, so the batched path seals the group's blocks into columns;
 	// blockCols marks which columns those executors' typed loops index (the
@@ -116,6 +126,10 @@ type stmtPlan struct {
 	// goroutine touches it (the batched path accumulates into per-worker
 	// deltas instead).
 	scratch *gmr.GMR
+	// seqOnly marks conflict-closure statements (triggerPlan.seq): batched
+	// windows run them on the sequential per-event pass and the block/chunk
+	// evaluators skip them.
+	seqOnly bool
 	// keyArg[i] is the trigger-argument position feeding target key i, or -1
 	// when the key must be read from a result column instead.
 	keyArg []int
@@ -144,25 +158,30 @@ func (e *Engine) planFor(relation string) *relationPlan {
 		e.plans[relation] = nil
 		return nil
 	}
-	p := &relationPlan{class: e.prog.RelationBatchClass(relation)}
+	class, seq := e.prog.RelationBatchSplit(relation)
+	p := &relationPlan{class: class}
 	if ins != nil {
-		p.insert = e.planTrigger(ins, p)
+		p.insert = e.planTrigger(ins, p, seq[ins.Key()])
 	}
 	if del != nil {
-		p.delete = e.planTrigger(del, p)
+		p.delete = e.planTrigger(del, p, seq[del.Key()])
 	}
 	e.plans[relation] = p
 	e.lastRel, e.lastPlan = relation, p
 	return p
 }
 
-func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan {
-	tp := &triggerPlan{trig: t, stmts: make([]stmtPlan, len(t.Stmts)), incEnd: len(t.Stmts)}
+func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan, seq []int) *triggerPlan {
+	tp := &triggerPlan{trig: t, stmts: make([]stmtPlan, len(t.Stmts)), incEnd: len(t.Stmts), seq: seq}
 	for si := range t.Stmts {
 		if t.Stmts[si].Kind == trigger.StmtReplace {
 			tp.incEnd = si
 			break
 		}
+	}
+	isSeq := make(map[int]bool, len(seq))
+	for _, si := range seq {
+		isSeq[si] = true
 	}
 	argIdx := make(map[string]int, len(t.Args))
 	for i, a := range t.Args {
@@ -170,7 +189,7 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 	}
 	for si := range t.Stmts {
 		s := &t.Stmts[si]
-		sp := stmtPlan{stmt: s, target: e.views[s.TargetMap], keyArg: make([]int, len(s.TargetKeys))}
+		sp := stmtPlan{stmt: s, target: e.views[s.TargetMap], keyArg: make([]int, len(s.TargetKeys)), seqOnly: isSeq[si]}
 		if sp.target == nil {
 			// An unknown target map is reported per event by the sequential
 			// path; never take the batched one.
@@ -181,7 +200,7 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 			// not lower; those statements simply stay on the interpreter.
 			sp.exec, _ = s.Executor(t.Args)
 		}
-		if sp.target != nil && s.Kind == trigger.StmtIncrement &&
+		if sp.target != nil && s.Kind == trigger.StmtIncrement && !sp.seqOnly &&
 			e.execMode == ExecCompiled && e.columnar {
 			// Likewise, a block compile error keeps the statement on the
 			// row-at-a-time path inside batched windows.
@@ -229,7 +248,7 @@ func (e *Engine) planTrigger(t *trigger.Trigger, rp *relationPlan) *triggerPlan 
 			}
 		}
 		tp.stmts[si] = sp
-		if si < tp.incEnd && (sp.exec == nil || e.execMode != ExecCompiled) {
+		if si < tp.incEnd && !sp.seqOnly && (sp.exec == nil || e.execMode != ExecCompiled) {
 			tp.needEnv = true
 		}
 	}
@@ -363,6 +382,14 @@ func (e *Engine) applyGroup(plan *relationPlan, events []Event) error {
 	}
 	if n == 0 {
 		return nil
+	}
+	// Phase 0: the conflict closure, per event in trigger order — exactly the
+	// sequential path restricted to the closure statements. It runs before the
+	// batched phases: the closure's reads and writes are disjoint from every
+	// batchable statement's reads, so the batched deltas still see pre-window
+	// state for everything they depend on.
+	if err := e.runSeqStatements(plan, events); err != nil {
+		return err
 	}
 
 	var chunks []blockChunk
@@ -514,6 +541,10 @@ func (e *Engine) evalBlockChunk(tp *triggerPlan, block *exec.Block, lo, hi int, 
 	rowStmts := false
 	for si := 0; si < tp.incEnd; si++ {
 		sp := &tp.stmts[si]
+		if sp.seqOnly {
+			// Conflict-closure statements already ran on the per-event pass.
+			continue
+		}
 		if compiled && sp.block != nil {
 			if err := sp.block.RunBlock(e, block, lo, hi, deltas.acc(sp.target)); err != nil {
 				return fmt.Errorf("statement %q: %w", sp.stmt.String(), err)
@@ -538,7 +569,7 @@ func (e *Engine) evalBlockChunk(tp *triggerPlan, block *exec.Block, lo, hi int, 
 		}
 		for si := 0; si < tp.incEnd; si++ {
 			sp := &tp.stmts[si]
-			if compiled && sp.block != nil {
+			if sp.seqOnly || (compiled && sp.block != nil) {
 				continue
 			}
 			if compiled && sp.exec != nil {
@@ -674,6 +705,39 @@ func runTasks(nw, n int, task func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// runSeqStatements replays a split group's conflict-closure statements
+// (triggerPlan.seq) per event on the driving goroutine. Events are processed
+// in stream order, each through its direction's closure statements in trigger
+// order, so the closure observes exactly the intermediate states sequential
+// execution would have produced — the closure is closed under "maintains a
+// map a closure statement reads", so no map it touches is updated anywhere
+// else in the window.
+func (e *Engine) runSeqStatements(plan *relationPlan, events []Event) error {
+	hasSeq := (plan.insert != nil && len(plan.insert.seq) > 0) ||
+		(plan.delete != nil && len(plan.delete.seq) > 0)
+	if !hasSeq {
+		return nil
+	}
+	for i := range events {
+		ev := &events[i]
+		tp := plan.delete
+		if ev.Insert {
+			tp = plan.insert
+		}
+		if tp == nil || len(tp.seq) == 0 {
+			continue
+		}
+		var env types.Env
+		for _, si := range tp.seq {
+			sp := &tp.stmts[si]
+			if err := e.executeStmt(sp, ev.Tuple, tp.trig.Args, &env); err != nil {
+				return fmt.Errorf("%s: statement %q: %w", tp.trig.Key(), sp.stmt.String(), err)
+			}
+		}
+	}
+	return nil
 }
 
 // runReevalTail executes the trailing replacement statements of a

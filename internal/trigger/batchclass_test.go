@@ -96,3 +96,61 @@ func TestRelationBatchClassRejections(t *testing.T) {
 		t.Fatalf("diverging tails: class = %v, want BatchNone", got)
 	}
 }
+
+// mergedProgram extends the VWAP shape with a second query's statements the
+// way CompileSet merges triggers: BSV reads AUX, which the same trigger
+// maintains — a conflict that sinks whole-trigger classification but must
+// only sink its own closure under the statement-level split.
+func mergedProgram() *Program {
+	p := vwapProgram()
+	for ti := range p.Triggers {
+		t := &p.Triggers[ti]
+		tail := t.Stmts[len(t.Stmts)-1]
+		conflict := []Statement{
+			{TargetMap: "BSV", Kind: StmtIncrement,
+				RHS: agca.Mul(agca.V("v"), agca.MapRef{Name: "AUX"})},
+			{TargetMap: "AUX", Kind: StmtIncrement, RHS: agca.V("p")},
+		}
+		t.Stmts = append(append(t.Stmts[:len(t.Stmts)-1:len(t.Stmts)-1], conflict...), tail)
+	}
+	p.Maps = append(p.Maps, MapDef{Name: "BSV"}, MapDef{Name: "AUX"})
+	return p
+}
+
+func TestRelationBatchSplit(t *testing.T) {
+	// No conflicts: empty closure, class as before.
+	p := vwapProgram()
+	class, seq := p.RelationBatchSplit("B")
+	if class != BatchReevalTail || len(seq) != 0 {
+		t.Fatalf("clean program: split = (%v, %v), want (BatchReevalTail, none)", class, seq)
+	}
+
+	// A merged trigger with one query's conflict: the closure holds exactly
+	// the conflicting statement and the maintenance of the map it reads —
+	// in both directions — while the clean statements stay batchable.
+	p = mergedProgram()
+	if got := p.RelationBatchClass("B"); got != BatchNone {
+		t.Fatalf("whole-trigger class = %v, want BatchNone (conflict present)", got)
+	}
+	class, seq = p.RelationBatchSplit("B")
+	if class != BatchReevalTail {
+		t.Fatalf("split class = %v, want BatchReevalTail", class)
+	}
+	for _, key := range []string{"+B", "-B"} {
+		got := seq[key]
+		if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Fatalf("seq[%s] = %v, want [2 3] (BSV and AUX, not SUMPV/SUMV)", key, got)
+		}
+	}
+
+	// A closure statement reading a replaced map cannot keep per-event
+	// semantics against a once-per-window tail: whole relation falls back.
+	p = mergedProgram()
+	for ti := range p.Triggers {
+		p.Triggers[ti].Stmts[2].RHS = agca.Mul(agca.V("v"), agca.MapRef{Name: "VWAP"})
+	}
+	class, seq = p.RelationBatchSplit("B")
+	if class != BatchNone || seq != nil {
+		t.Fatalf("closure reads replaced map: split = (%v, %v), want (BatchNone, nil)", class, seq)
+	}
+}

@@ -140,6 +140,20 @@ type MapDef struct {
 	BaseRel     string
 }
 
+// QueryDef names one query compiled into a (possibly multi-query) program:
+// which map holds its result, that map's key columns, and the full set of
+// maps the query's maintenance depends on. In a hash-consed program several
+// queries may list the same maps — those are the shared views.
+type QueryDef struct {
+	Name       string
+	ResultMap  string
+	ResultKeys []string
+	// Maps lists every map reachable from ResultMap through the program's
+	// maintenance statements (ResultMap itself included), sorted. A map that
+	// appears in more than one query's list is maintained once and shared.
+	Maps []string
+}
+
 // Program is a compiled trigger program.
 type Program struct {
 	QueryName  string
@@ -152,6 +166,50 @@ type Program struct {
 	// StaticRelations lists relations treated as static (loaded once, never
 	// updated by triggers), as the paper does for Nation/Region.
 	StaticRelations []string
+	// Queries lists every query compiled into the program, in registration
+	// order. Single-query programs carry one entry mirroring
+	// QueryName/ResultMap/ResultKeys; multi-query (hash-consed) programs carry
+	// one entry per registered query.
+	Queries []QueryDef
+}
+
+// QueryByName returns the definition of the named query.
+func (p *Program) QueryByName(name string) (QueryDef, bool) {
+	for _, q := range p.Queries {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return QueryDef{}, false
+}
+
+// ResultMapFor resolves a query name to its result map. The empty name means
+// the program's primary query. Programs without query metadata (hand-built in
+// tests) accept the empty name or the program's QueryName.
+func (p *Program) ResultMapFor(query string) (string, error) {
+	if query == "" || query == p.QueryName {
+		return p.ResultMap, nil
+	}
+	if q, ok := p.QueryByName(query); ok {
+		return q.ResultMap, nil
+	}
+	return "", fmt.Errorf("trigger: unknown query %q", query)
+}
+
+// MapQueryCounts returns, for every map in the program, how many queries
+// depend on it. Counts greater than one mark shared views; the engine's
+// memory report and the shared-map report are built from this.
+func (p *Program) MapQueryCounts() map[string]int {
+	out := make(map[string]int, len(p.Maps))
+	for _, m := range p.Maps {
+		out[m.Name] = 0
+	}
+	for _, q := range p.Queries {
+		for _, name := range q.Maps {
+			out[name]++
+		}
+	}
+	return out
 }
 
 // MapByName returns the definition of the named map.
@@ -229,13 +287,51 @@ func (p *Program) RelationBatchable(relation string) bool {
 // stale tails), and (c) insert and delete triggers carry identical tails, so
 // the window can run any one of them. Everything else is BatchNone.
 func (p *Program) RelationBatchClass(relation string) BatchClass {
+	class, seq := p.RelationBatchSplit(relation)
+	if len(seq) > 0 {
+		// Whole-trigger semantics: any conflicting statement sinks the class.
+		return BatchNone
+	}
+	return class
+}
+
+// RelationBatchSplit refines RelationBatchClass to statement granularity.
+// In a merged multi-query program one query's conflicting statements would
+// otherwise sink the whole relation to BatchNone for every query sharing the
+// trigger; the split instead isolates the conflict closure and lets the rest
+// of the trigger batch.
+//
+// It returns the batch class together with, per trigger key, the sorted
+// indices of the increment statements that must run per-event: every
+// increment reading a map the relation's triggers write, closed under
+// "maintains a map a sequential statement reads" across both directions.
+// Statements outside the closure read only maps no statement of the window
+// touches, so their per-event deltas depend solely on the pre-window state
+// and batch exactly as in a BatchCommute group; the closure replays with
+// per-event semantics. The two sets share no maps — the closure's reads pull
+// their writers in, and a batchable statement by construction reads nothing
+// the window writes — so the phases commute.
+//
+// The hard rejections keep the whole relation on the sequential path
+// (BatchNone, nil map): a replacement reading a trigger argument, an
+// increment after a replacement, diverging insert/delete tails, and a
+// closure statement reading a replaced map (its per-event evaluation would
+// observe the once-per-window tail stale).
+func (p *Program) RelationBatchSplit(relation string) (BatchClass, map[string][]int) {
 	writes := p.EventWriteSet(relation)
 	if len(writes) == 0 {
-		return BatchNone
+		return BatchNone, nil
 	}
 	writes[relation] = true
 	hasReplace := false
 	var tails [][]string // rendered replacement tail of each trigger
+	replaced := map[string]bool{}
+	type incRef struct {
+		key string
+		idx int
+		s   *Statement
+	}
+	var incs []incRef
 	for ti := range p.Triggers {
 		t := &p.Triggers[ti]
 		if t.Relation != relation {
@@ -252,39 +348,82 @@ func (p *Program) RelationBatchClass(relation string) BatchClass {
 				vars := agca.AllVars(s.RHS)
 				for _, a := range t.Args {
 					if vars[a] {
-						return BatchNone
+						return BatchNone, nil
 					}
 				}
+				replaced[s.TargetMap] = true
 				tail = append(tail, s.String())
 				continue
 			}
 			if len(tail) > 0 {
 				// An increment after a replacement breaks the prefix/tail
 				// split (SortStatements never produces this order).
-				return BatchNone
+				return BatchNone, nil
 			}
-			for _, r := range s.ReadSet() {
-				if writes[r] {
-					return BatchNone
-				}
-			}
+			incs = append(incs, incRef{key: t.Key(), idx: si, s: s})
 		}
 		tails = append(tails, tail)
 	}
-	if !hasReplace {
-		return BatchCommute
-	}
-	for _, tl := range tails[1:] {
-		if len(tl) != len(tails[0]) {
-			return BatchNone
-		}
-		for i := range tl {
-			if tl[i] != tails[0][i] {
-				return BatchNone
+	if hasReplace {
+		for _, tl := range tails[1:] {
+			if len(tl) != len(tails[0]) {
+				return BatchNone, nil
+			}
+			for i := range tl {
+				if tl[i] != tails[0][i] {
+					return BatchNone, nil
+				}
 			}
 		}
 	}
-	return BatchReevalTail
+	// Seed the closure with every increment that reads a map the window
+	// writes, then grow it: a map a sequential statement reads must itself be
+	// maintained sequentially, in either direction's trigger.
+	seq := make([]bool, len(incs))
+	for i, r := range incs {
+		for _, m := range r.s.ReadSet() {
+			if writes[m] {
+				seq[i] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		seqReads := map[string]bool{}
+		for i, r := range incs {
+			if seq[i] {
+				for _, m := range r.s.ReadSet() {
+					seqReads[m] = true
+				}
+			}
+		}
+		for i, r := range incs {
+			if !seq[i] && seqReads[r.s.TargetMap] {
+				seq[i] = true
+				changed = true
+			}
+		}
+	}
+	var out map[string][]int
+	for i, r := range incs {
+		if !seq[i] {
+			continue
+		}
+		for _, m := range r.s.ReadSet() {
+			if replaced[m] {
+				return BatchNone, nil
+			}
+		}
+		if out == nil {
+			out = map[string][]int{}
+		}
+		out[r.key] = append(out[r.key], r.idx)
+	}
+	if hasReplace {
+		return BatchReevalTail, out
+	}
+	return BatchCommute, out
 }
 
 // SortStatements orders every trigger's statements for correct execution:

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/catalog"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/gmr"
+)
+
+// MultiSpec bundles a set of workload queries for co-registration in one
+// engine: the merged catalog of every group involved, the union of static
+// tables, and a combined update stream. It is the input to the multi-query
+// (hash-consed) compilation path.
+type MultiSpec struct {
+	Names   []string
+	Specs   []Spec
+	Catalog *catalog.Catalog
+	Queries []compiler.Query
+}
+
+// Combine assembles a MultiSpec from the named workload queries. Catalogs are
+// merged with schema-conflict detection (all specs of one group declare
+// identical DDL, so conflicts indicate a genuinely incompatible set); static
+// tables are unioned first-wins.
+func Combine(names []string) (*MultiSpec, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload: no queries to combine")
+	}
+	ms := &MultiSpec{Catalog: catalog.New()}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("workload: query %q listed twice", n)
+		}
+		seen[n] = true
+		spec, ok := Get(n)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown query %q", n)
+		}
+		if err := ms.Catalog.Merge(spec.Catalog); err != nil {
+			return nil, fmt.Errorf("workload: combining %q: %w", n, err)
+		}
+		ms.Names = append(ms.Names, n)
+		ms.Specs = append(ms.Specs, spec)
+		ms.Queries = append(ms.Queries, spec.Query)
+	}
+	return ms, nil
+}
+
+// Statics returns the union of the member queries' static tables,
+// first-wins. Within one group every spec returns the same tables, so the
+// order of Names does not change the result.
+func (ms *MultiSpec) Statics() map[string]*gmr.GMR {
+	out := map[string]*gmr.GMR{}
+	for _, spec := range ms.Specs {
+		for name, g := range spec.Statics() {
+			if _, ok := out[name]; !ok {
+				out[name] = g
+			}
+		}
+	}
+	return out
+}
+
+// Stream generates the combined update stream: one stream per distinct
+// workload group (specs of a group share a generator, so each group's stream
+// is produced once), interleaved round-robin event by event. Every member
+// query sees its own group's events in their original order.
+func (ms *MultiSpec) Stream(scale float64, seed int64) []engine.Event {
+	var groups []string
+	groupSeen := map[string]bool{}
+	streams := map[string][]engine.Event{}
+	for _, spec := range ms.Specs {
+		if groupSeen[spec.Group] {
+			continue
+		}
+		groupSeen[spec.Group] = true
+		groups = append(groups, spec.Group)
+		streams[spec.Group] = spec.Stream(scale, seed)
+	}
+	total := 0
+	for _, ev := range streams {
+		total += len(ev)
+	}
+	out := make([]engine.Event, 0, total)
+	for i := 0; len(out) < total; i++ {
+		for _, g := range groups {
+			if i < len(streams[g]) {
+				out = append(out, streams[g][i])
+			}
+		}
+	}
+	return out
+}

@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbtbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time | mqo")
+	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time | ckpt_delta | mqo")
 	queries := fs.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := fs.Float64("scale", 0.25, "stream scale factor")
 	budget := fs.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -155,6 +155,15 @@ func run(args []string) error {
 		for _, r := range results {
 			if r.Err != nil {
 				return fmt.Errorf("recovery_time %s ckpt=%d: %w", r.Query, r.CkptEvery, r.Err)
+			}
+		}
+	case "ckpt_delta":
+		results := bench.CkptDelta(pick([]string{"Q3", "Q4", "Q10", "Q12"}), opts, *walFlag)
+		fmt.Println("Incremental checkpoints — steady-state checkpoint bytes under hot-key churn, full images vs delta chains:")
+		fmt.Print(bench.FormatCkptDeltaTable(results))
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("ckpt_delta %s %s: %w", r.Query, r.Mode, r.Err)
 			}
 		}
 	case "mqo":

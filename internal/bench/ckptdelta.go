@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/wal"
+	"dbtoaster/internal/workload"
+)
+
+// This file holds the ckpt_delta experiment: steady-state checkpoint cost
+// under a hot-key (Zipfian) churn workload, full-image checkpoints vs
+// incremental delta chains. The point of delta checkpoints is that their cost
+// is proportional to what changed since the last checkpoint, not to store
+// size — so after warming a large store, a workload that keeps touching the
+// same hot keys should checkpoint for a small fraction of the full-image
+// price, while recovery (base + delta chain + log tail) stays byte-equal and
+// about as fast.
+
+const (
+	// ckptDeltaRounds steady-state checkpoints are taken after the warm-up
+	// base; with the default re-base interval of 8 the delta run publishes
+	// seven deltas and one re-base, so the measured average includes the
+	// periodic full-image cost instead of hiding it.
+	ckptDeltaRounds = 8
+	// ckptDeltaChurn events are applied between consecutive checkpoints:
+	// deletes of Zipf-picked warm tuples and the re-inserts owed from the
+	// previous round, paired across rounds so every checkpoint sees real
+	// changes rather than a net-zero batch.
+	ckptDeltaChurn = 1024
+	// ckptDeltaZipfS is the Zipf skew: draws concentrate on a small hot set,
+	// the regime where dirty-slot tracking pays.
+	ckptDeltaZipfS = 1.6
+)
+
+// CkptDeltaResult is one cell of the ckpt_delta experiment: a warmed store
+// churned through ckptDeltaRounds checkpoints in one mode, then recovered.
+type CkptDeltaResult struct {
+	Query          string
+	Mode           string  // "full" or "delta"
+	WarmEvents     int     // events applied before the measured window
+	ChurnEvents    int     // events applied inside the measured window
+	Checkpoints    int     // checkpoints in the measured window
+	CkptBytes      int64   // checkpoint bytes written in the measured window
+	DirtyFraction  float64 // mean per-view dirty fraction at the last delta link
+	RecoverElapsed time.Duration
+	RecoveredOK    bool // recovered views byte-equal to the live engine's
+	Err            error
+}
+
+// ckptDeltaChurnRounds builds the per-round event slices: each round deletes
+// a fresh Zipf-picked set of warm inserts and re-applies the inserts deleted
+// in the previous round. The schedule is deterministic in the seed, so the
+// full and delta runs replay identical streams.
+func ckptDeltaChurnRounds(events []engine.Event, seed int64) [][]engine.Event {
+	var inserts []engine.Event
+	for _, ev := range events {
+		if ev.Insert {
+			inserts = append(inserts, ev)
+		}
+	}
+	if len(inserts) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, ckptDeltaZipfS, 1, uint64(len(inserts)-1))
+	rounds := make([][]engine.Event, ckptDeltaRounds)
+	var pending []engine.Event
+	for r := range rounds {
+		evs := append([]engine.Event(nil), pending...)
+		pending = pending[:0]
+		for len(evs) < ckptDeltaChurn {
+			src := inserts[zipf.Uint64()]
+			evs = append(evs, engine.Event{Relation: src.Relation, Insert: false, Tuple: src.Tuple})
+			pending = append(pending, src)
+		}
+		rounds[r] = evs
+	}
+	return rounds
+}
+
+func ckptDeltaApply(eng *engine.Engine, evs []engine.Event, batchSize int) error {
+	for _, b := range workload.Batches(evs, batchSize) {
+		if err := eng.ApplyBatch(engine.NewBatch(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CkptDelta runs the experiment for each query in both modes. base names the
+// log directory parent as in the other durability experiments; "mem" uses an
+// in-memory wal.FaultFS so the measurement isolates bytes from the device.
+func CkptDelta(queries []string, opts Options, base string) []CkptDeltaResult {
+	if opts.BatchSize <= 1 {
+		opts.BatchSize = 256
+	}
+	memFS := base == "mem"
+	measure := func(q string, spec workload.Spec, delta bool) CkptDeltaResult {
+		res := CkptDeltaResult{Query: q, Mode: "full"}
+		if delta {
+			res.Mode = "delta"
+		}
+		eng, events, err := setup(spec, compiler.ModeDBToaster, opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		dopts := engine.DurabilityOptions{
+			Sync:                   wal.SyncNone,
+			SynchronousCheckpoints: true,
+			DeltaCheckpoints:       delta,
+		}
+		var ffs *wal.FaultFS
+		var dir string
+		if memFS {
+			ffs = wal.NewFaultFS()
+			dopts.Dir, dopts.FS = "wal", ffs
+		} else {
+			dir, err = walDir(base, fmt.Sprintf("%s-%s", strings.ToLower(q), res.Mode))
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			defer os.RemoveAll(dir)
+			dopts.Dir = dir
+		}
+		if err := eng.SetDurability(dopts); err != nil {
+			res.Err = err
+			return res
+		}
+		trackDurable(eng)
+		defer untrackDurable(eng)
+
+		// Warm: replay the whole stream, then publish the base checkpoint
+		// both modes start the measured window from.
+		if err := ckptDeltaApply(eng, events, opts.BatchSize); err != nil {
+			res.Err = err
+			return res
+		}
+		res.WarmEvents = len(events)
+		if err := eng.Checkpoint(); err != nil {
+			res.Err = err
+			return res
+		}
+		before, _ := eng.LogStats()
+
+		// Measured window: hot-key churn, one checkpoint per round.
+		for _, round := range ckptDeltaChurnRounds(events, opts.Seed) {
+			if err := ckptDeltaApply(eng, round, opts.BatchSize); err != nil {
+				res.Err = err
+				return res
+			}
+			res.ChurnEvents += len(round)
+			if err := eng.Checkpoint(); err != nil {
+				res.Err = err
+				return res
+			}
+			if info, ok := eng.LastCheckpointInfo(); ok && !info.Base && len(info.DirtyFraction) > 0 {
+				sum := 0.0
+				for _, f := range info.DirtyFraction {
+					sum += f
+				}
+				res.DirtyFraction = sum / float64(len(info.DirtyFraction))
+			}
+		}
+		after, _ := eng.LogStats()
+		res.Checkpoints = int(after.Checkpoints - before.Checkpoints)
+		res.CkptBytes = after.CheckpointBytes - before.CheckpointBytes
+		if err := eng.CloseDurability(); err != nil {
+			res.Err = err
+			return res
+		}
+
+		// Recovery: a fresh engine rebuilt from the surviving directory must
+		// be byte-equal to the live one, about as fast in either mode.
+		fresh, _, err := setup(spec, compiler.ModeDBToaster, opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		ropts := engine.DurabilityOptions{Dir: dopts.Dir, FS: dopts.FS}
+		recStart := time.Now()
+		if _, err := fresh.Recover(ropts); err != nil {
+			res.Err = err
+			return res
+		}
+		res.RecoverElapsed = time.Since(recStart)
+		res.RecoveredOK = true
+		for name := range eng.ViewSizes() {
+			w := eng.View(name).Data().AppendFlat(nil)
+			g := fresh.View(name).Data().AppendFlat(nil)
+			if !bytes.Equal(w, g) {
+				res.RecoveredOK = false
+				res.Err = fmt.Errorf("recovered view %s not byte-equal", name)
+				break
+			}
+		}
+		return res
+	}
+
+	var out []CkptDeltaResult
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			out = append(out, CkptDeltaResult{Query: q, Err: fmt.Errorf("unknown query %q", q)})
+			continue
+		}
+		for _, delta := range []bool{false, true} {
+			out = append(out, measure(q, spec, delta))
+		}
+	}
+	return out
+}
+
+// FormatCkptDeltaTable renders the ckpt_delta experiment: per query, the
+// steady-state checkpoint bytes in each mode and the full/delta ratio (the
+// acceptance metric: >= 5x on the hot-key workload at byte-equal recovery).
+func FormatCkptDeltaTable(results []CkptDeltaResult) string {
+	byQuery := map[string]map[string]CkptDeltaResult{}
+	var queries []string
+	for _, r := range results {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]CkptDeltaResult{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.Mode] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %9s %7s %5s %12s %12s %7s %11s %7s %8s\n",
+		"Query", "Mode", "warm", "churn", "ckpts", "ckptKB", "KB/ckpt", "dirty%", "recover-ms", "equal", "fullx")
+	for _, q := range queries {
+		for _, mode := range []string{"full", "delta"} {
+			r, ok := byQuery[q][mode]
+			if !ok {
+				continue
+			}
+			if r.Err != nil {
+				fmt.Fprintf(&b, "%-8s %-6s error: %v\n", q, mode, r.Err)
+				continue
+			}
+			equal := "no"
+			if r.RecoveredOK {
+				equal = "yes"
+			}
+			ratio := "-"
+			if full, ok := byQuery[q]["full"]; ok && mode == "delta" && full.Err == nil && r.CkptBytes > 0 {
+				ratio = fmt.Sprintf("%.1fx", float64(full.CkptBytes)/float64(r.CkptBytes))
+			}
+			fmt.Fprintf(&b, "%-8s %-6s %9d %7d %5d %12.1f %12.1f %6.1f%% %11.2f %7s %8s\n",
+				q, mode, r.WarmEvents, r.ChurnEvents, r.Checkpoints,
+				float64(r.CkptBytes)/1024,
+				float64(r.CkptBytes)/1024/float64(max(r.Checkpoints, 1)),
+				100*r.DirtyFraction,
+				float64(r.RecoverElapsed.Microseconds())/1000, equal, ratio)
+		}
+	}
+	return b.String()
+}

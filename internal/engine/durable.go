@@ -24,13 +24,20 @@ import (
 //
 // Checkpoints bound replay: every CheckpointEvery logged events, the writer
 // pins a snapshot (Engine.Acquire — O(#views)), rotates the log segment, and
-// a background goroutine serializes each view's frozen flat store verbatim
-// (gmr.AppendFlat) and publishes the checkpoint, concurrent with continued
-// writes. Recovery (Engine.Recover) loads the newest valid checkpoint's
-// images back as the view stores and replays the committed log tail through
-// the normal Apply/ApplyBatch paths — each record the way it was originally
-// committed, so float accumulation orders match and recovered state is
-// byte-equal to an uninterrupted run at the same committed event count.
+// a background goroutine serializes the snapshot and publishes the
+// checkpoint, concurrent with continued writes. With DeltaCheckpoints on,
+// checkpoints form chains (wal chain format): periodically a base link
+// writes every view's full flat-store image (gmr.AppendFlat), and the links
+// between carry, per view, either an incremental delta of the slots touched
+// since the previous checkpoint (gmr.AppendFlatDelta against the FlatBase
+// captured then) or — when the view's dirty fraction crossed
+// DeltaDirtyThreshold, or the view's store structurally diverged (probe-table
+// grow, arena compaction) — a fresh full image. Recovery (Engine.Recover)
+// composes the newest valid chain (install the base, patch each delta link)
+// and replays the committed log tail through the normal Apply/ApplyBatch
+// paths — each record the way it was originally committed, so float
+// accumulation orders match and recovered state is byte-equal to an
+// uninterrupted run at the same committed event count.
 
 // DurabilityOptions configures the log, checkpointer and recovery source.
 type DurabilityOptions struct {
@@ -50,6 +57,33 @@ type DurabilityOptions struct {
 	// thread instead of a background goroutine. Benchmarks and crash tests
 	// use it to make checkpoint timing deterministic.
 	SynchronousCheckpoints bool
+	// DeltaCheckpoints enables incremental checkpoint chains: between base
+	// checkpoints, each link serializes only the slots touched since the
+	// previous checkpoint, making steady-state checkpoint bytes proportional
+	// to the change rate instead of the store size.
+	DeltaCheckpoints bool
+	// DeltaDirtyThreshold is the dirty-slot fraction above which a view is
+	// written as a full image inside a delta link (past that point a delta
+	// is barely smaller but still lengthens recovery). 0 means 0.5.
+	DeltaDirtyThreshold float64
+	// RebaseEvery bounds chain length: after this many consecutive links the
+	// next checkpoint is a fresh base, bounding recovery compose time and
+	// letting GC drop the old chain. 0 means 8.
+	RebaseEvery int
+}
+
+func (o *DurabilityOptions) dirtyThreshold() float64 {
+	if o.DeltaDirtyThreshold <= 0 {
+		return 0.5
+	}
+	return o.DeltaDirtyThreshold
+}
+
+func (o *DurabilityOptions) rebaseEvery() int {
+	if o.RebaseEvery <= 0 {
+		return 8
+	}
+	return o.RebaseEvery
 }
 
 // durability is the engine's armed durability state.
@@ -62,9 +96,28 @@ type durability struct {
 	lastCkpt uint64
 	// ckptBusy is set while a background checkpoint is in flight; a due
 	// checkpoint is skipped rather than queued when the previous one is still
-	// writing.
+	// writing. It also orders the chain state below: the writer only reads it
+	// after observing ckptBusy false, and the background goroutine only
+	// writes it before storing false, so the atomic is the happens-before
+	// edge.
 	ckptBusy atomic.Bool
 	wg       sync.WaitGroup
+
+	// Chain state, updated only when a checkpoint publishes successfully —
+	// after a failed write the next link parents off the last durable
+	// checkpoint, whose files GC retained. bases maps each view to the
+	// structural fingerprint of its image at that checkpoint (the delta
+	// boundary); adminAt pins the engine's administrative generation, so any
+	// view rewiring (program reload, recovery install) forces a re-base.
+	bases    map[string]gmr.FlatBase
+	prevLSN  uint64
+	chainLen int
+	haveBase bool
+	adminAt  uint64
+
+	// infoMu/lastInfo expose the most recent checkpoint attempt's outcome.
+	infoMu   sync.Mutex
+	lastInfo CheckpointInfo
 	// errMu/err hold a background checkpoint failure until the write path can
 	// surface it.
 	errMu sync.Mutex
@@ -209,39 +262,131 @@ func (d *durability) checkpoint(e *Engine) error {
 	return d.checkpointWith(e, d.opts.SynchronousCheckpoints)
 }
 
-// checkpointWith pins the current state and publishes it as a checkpoint. The
-// snapshot pin, LSN capture and segment rotation happen on the writer thread
-// (cheap: O(#views) freeze + one file create); serialization, the checkpoint
-// write and garbage collection run in the background unless sync is set. A
-// checkpoint that finds the previous background one still in flight is
-// skipped — the log simply stays longer until the next due point.
+// CheckpointInfo describes the most recent checkpoint attempt.
+type CheckpointInfo struct {
+	// LSN is the checkpoint's replay cut point.
+	LSN uint64
+	// Base reports whether the link was a full base (true) or a delta.
+	Base bool
+	// Bytes is the serialized size of the published link (0 on failure).
+	Bytes int
+	// ChainLen is the chain length ending at this link (1 for a base).
+	ChainLen int
+	// DirtyFraction maps each view to its dirty-slot fraction at the
+	// checkpoint (1 when the view was not delta-eligible); nil for a base.
+	DirtyFraction map[string]float64
+	// Err is the write failure, if any.
+	Err error
+}
+
+// LastCheckpointInfo returns the outcome of the most recent checkpoint
+// attempt this incarnation, and false if none has run (or durability is
+// off). Unlike the sticky write-path error, this reports failures promptly —
+// and successes at all.
+func (e *Engine) LastCheckpointInfo() (CheckpointInfo, bool) {
+	d := e.dur
+	if d == nil {
+		return CheckpointInfo{}, false
+	}
+	d.infoMu.Lock()
+	defer d.infoMu.Unlock()
+	return d.lastInfo, d.lastInfo.LSN != 0 || d.lastInfo.Bytes != 0 || d.lastInfo.Err != nil
+}
+
+// LogStats returns the armed log's observable counters (wal.Log.Stats), and
+// false when durability is off.
+func (e *Engine) LogStats() (wal.Stats, bool) {
+	if e.dur == nil {
+		return wal.Stats{}, false
+	}
+	return e.dur.log.Stats(), true
+}
+
+// checkpointWith pins the current state and publishes it as a checkpoint
+// chain link. The snapshot pin, LSN capture, link-kind decision and segment
+// rotation happen on the writer thread (cheap: O(#views) freeze, a few
+// scalar reads, one file create); the per-view dirty scans, serialization,
+// the checkpoint write and garbage collection run in the background unless
+// sync is set. A checkpoint that finds the previous background one still in
+// flight is skipped — the log simply stays longer until the next due point.
+// That skip also serializes all chain-state access and directory GC: at most
+// one checkpoint is in flight at a time.
 func (d *durability) checkpointWith(e *Engine, sync bool) error {
 	if d.ckptBusy.Load() {
 		return nil
 	}
 	snap := e.Acquire()
-	c := &wal.Checkpoint{LSN: d.log.NextLSN(), EngineEvents: e.Events()}
+	lsn := d.log.NextLSN()
+	events := e.Events()
+	// A delta link needs a parent strictly below it, a same-admin view set,
+	// and a chain short enough that recovery compose time stays bounded;
+	// anything else re-bases. The per-view dirty fractions are measured in
+	// the background — a view that diverged structurally or crossed the
+	// threshold just falls back to a full image inside the delta link.
+	isBase := !d.opts.DeltaCheckpoints || !d.haveBase || snap.admin != d.adminAt ||
+		lsn <= d.prevLSN || d.chainLen >= d.opts.rebaseEvery()
 	if err := d.log.Rotate(); err != nil {
 		return err
 	}
-	d.lastCkpt = c.LSN
+	d.lastCkpt = lsn
 	names := make([]string, 0, len(snap.views))
 	for name := range snap.views {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	write := func() error {
+		c := &wal.ChainCheckpoint{LSN: lsn, EngineEvents: events, Base: isBase}
+		chainLen := 1
+		var dirtyFrac map[string]float64
+		if !isBase {
+			c.ParentLSN = d.prevLSN
+			chainLen = d.chainLen + 1
+			dirtyFrac = make(map[string]float64, len(names))
+		}
+		threshold := d.opts.dirtyThreshold()
+		newBases := make(map[string]gmr.FlatBase, len(names))
 		for _, name := range names {
-			c.Views = append(c.Views, wal.ViewImage{Name: name, Data: snap.views[name].AppendFlat(nil)})
+			g := snap.views[name]
+			newBases[name] = g.FlatBase()
+			if !isBase {
+				frac := 1.0
+				if base, ok := d.bases[name]; ok {
+					if dirty, total, ok := g.FlatDirty(base); ok {
+						if total == 0 {
+							frac = 0
+						} else {
+							frac = float64(dirty) / float64(total)
+						}
+						if frac < threshold {
+							if data, ok := g.AppendFlatDelta(nil, base); ok {
+								dirtyFrac[name] = frac
+								c.Views = append(c.Views, wal.ViewPayload{Name: name, Delta: true, Data: data})
+								continue
+							}
+						}
+					}
+				}
+				dirtyFrac[name] = frac
+			}
+			c.Views = append(c.Views, wal.ViewPayload{Name: name, Data: g.AppendFlat(nil)})
 		}
-		if _, err := wal.WriteCheckpoint(d.fs, d.opts.Dir, c); err != nil {
-			return err
-		}
-		oldest, err := wal.GC(d.fs, d.opts.Dir)
+		_, size, err := wal.WriteChainCheckpoint(d.fs, d.opts.Dir, c)
+		d.log.NoteCheckpoint(lsn, size, chainLen, err)
+		d.infoMu.Lock()
+		d.lastInfo = CheckpointInfo{LSN: lsn, Base: isBase, Bytes: size, ChainLen: chainLen, DirtyFraction: dirtyFrac, Err: err}
+		d.infoMu.Unlock()
 		if err != nil {
 			return err
 		}
-		return d.log.RemoveSegmentsBelow(oldest)
+		// Publish succeeded: the next link may parent off this one. A failed
+		// publish leaves the previous chain state in place instead.
+		d.bases = newBases
+		d.prevLSN = lsn
+		d.chainLen = chainLen
+		d.haveBase = true
+		d.adminAt = snap.admin
+		_, err = d.log.GC()
+		return err
 	}
 	if sync {
 		if err := write(); err != nil {
@@ -263,10 +408,13 @@ func (d *durability) checkpointWith(e *Engine, sync bool) error {
 
 // RecoveryStats reports what Recover reconstructed.
 type RecoveryStats struct {
-	// CheckpointLSN is the LSN of the checkpoint recovery started from
-	// (0 with HadCheckpoint false means replay from an empty engine).
+	// CheckpointLSN is the LSN of the checkpoint chain head recovery started
+	// from (0 with HadCheckpoint false means replay from an empty engine).
 	CheckpointLSN uint64
 	HadCheckpoint bool
+	// ChainLength is the number of links composed (1 for a plain base or a
+	// legacy checkpoint; 0 without a checkpoint).
+	ChainLength int
 	// ReplayedEvents is the number of events re-executed from the log tail.
 	ReplayedEvents uint64
 	// NextLSN is where logging resumes (the recovered committed prefix).
@@ -309,10 +457,12 @@ func (e *Engine) Recover(o DurabilityOptions) (*RecoveryStats, error) {
 		TruncatedTail:      rec.TruncatedTail,
 		SkippedCheckpoints: rec.SkippedCheckpoints,
 	}
-	if c := rec.Checkpoint; c != nil {
+	if len(rec.Chain) > 0 {
+		head := rec.Chain[len(rec.Chain)-1]
 		stats.HadCheckpoint = true
-		stats.CheckpointLSN = c.LSN
-		if err := e.loadCheckpoint(c); err != nil {
+		stats.CheckpointLSN = head.LSN
+		stats.ChainLength = len(rec.Chain)
+		if err := e.loadChain(rec.Chain); err != nil {
 			return nil, err
 		}
 	}
@@ -340,45 +490,60 @@ func (e *Engine) Recover(o DurabilityOptions) (*RecoveryStats, error) {
 	return stats, nil
 }
 
-// loadCheckpoint installs a checkpoint's flat-store images as the engine's
-// view stores. The checkpoint must carry exactly the program's views, each
-// with the view's key schema — anything else means the directory belongs to a
-// different program.
-func (e *Engine) loadCheckpoint(c *wal.Checkpoint) error {
-	if len(c.Views) != len(e.views) {
-		return fmt.Errorf("engine: checkpoint has %d views, program has %d", len(c.Views), len(e.views))
-	}
-	loaded := make(map[string]*gmr.GMR, len(c.Views))
-	for i := range c.Views {
-		img := &c.Views[i]
-		v, ok := e.views[img.Name]
-		if !ok {
-			return fmt.Errorf("engine: checkpoint view %q not in program", img.Name)
+// loadChain composes a checkpoint chain — the base link's full images
+// patched by each delta link in order — and installs the result as the
+// engine's view stores. Every link must carry exactly the program's views
+// (the chain format guarantees a link lists all views), each full image must
+// match the view's key schema, and every delta payload must apply cleanly;
+// anything else means the directory belongs to a different program or is
+// damaged, and nothing is installed.
+func (e *Engine) loadChain(chain []*wal.ChainCheckpoint) error {
+	loaded := make(map[string]*gmr.GMR, len(e.views))
+	for li, c := range chain {
+		if len(c.Views) != len(e.views) {
+			return fmt.Errorf("engine: checkpoint LSN %d has %d views, program has %d", c.LSN, len(c.Views), len(e.views))
 		}
-		g, err := gmr.LoadFlat(img.Data)
-		if err != nil {
-			return fmt.Errorf("engine: checkpoint view %q: %w", img.Name, err)
-		}
-		gs, vs := g.Schema(), v.Keys()
-		if len(gs) != len(vs) {
-			return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", img.Name, gs, vs)
-		}
-		for j := range gs {
-			if gs[j] != vs[j] {
-				return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", img.Name, gs, vs)
+		for i := range c.Views {
+			p := &c.Views[i]
+			v, ok := e.views[p.Name]
+			if !ok {
+				return fmt.Errorf("engine: checkpoint view %q not in program", p.Name)
 			}
+			if p.Delta {
+				g, ok := loaded[p.Name]
+				if !ok || li == 0 {
+					return fmt.Errorf("engine: checkpoint LSN %d: delta payload for view %q without a prior image", c.LSN, p.Name)
+				}
+				if err := g.ApplyFlatDelta(p.Data); err != nil {
+					return fmt.Errorf("engine: checkpoint LSN %d view %q: %w", c.LSN, p.Name, err)
+				}
+				continue
+			}
+			g, err := gmr.LoadFlat(p.Data)
+			if err != nil {
+				return fmt.Errorf("engine: checkpoint LSN %d view %q: %w", c.LSN, p.Name, err)
+			}
+			gs, vs := g.Schema(), v.Keys()
+			if len(gs) != len(vs) {
+				return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", p.Name, gs, vs)
+			}
+			for j := range gs {
+				if gs[j] != vs[j] {
+					return fmt.Errorf("engine: checkpoint view %q: schema %v, program expects %v", p.Name, gs, vs)
+				}
+			}
+			loaded[p.Name] = g
 		}
-		loaded[img.Name] = g
 	}
-	// All images validated; install atomically so a bad checkpoint never
-	// leaves a half-replaced engine.
+	// All links validated and composed; install atomically so a bad
+	// checkpoint never leaves a half-replaced engine.
 	for name, g := range loaded {
 		v := e.views[name]
 		v.data = g
 		v.frozen = nil
 		v.indexes = map[uint64]*secondaryIndex{}
 	}
-	e.eventsPlain = c.EngineEvents
+	e.eventsPlain = chain[len(chain)-1].EngineEvents
 	e.adminGen.Add(1)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -169,6 +170,13 @@ func TestCrashRecovery(t *testing.T) {
 						CheckpointEvery:        recoveryCkptEvery,
 						SynchronousCheckpoints: trial%2 == 0,
 					}
+					if trial > 0 {
+						// Later trials run the incremental checkpoint path: the
+						// kill can land inside a base write, a delta write, or
+						// the re-base GC, and recovery must still be byte-equal.
+						dopts.DeltaCheckpoints = true
+						dopts.RebaseEvery = 2
+					}
 					if trial == 2 {
 						// Group commit over an interval: the crash also loses
 						// synced-policy guarantees, recovery just gets a shorter
@@ -219,6 +227,7 @@ func TestCrashRecovery(t *testing.T) {
 					if err := rec.SetDurability(engine.DurabilityOptions{
 						Dir: recoveryWalDir, FS: clone, Sync: wal.SyncEachCommit,
 						CheckpointEvery: recoveryCkptEvery, SynchronousCheckpoints: trial%2 == 0,
+						DeltaCheckpoints: trial > 0, RebaseEvery: 2,
 					}); err != nil {
 						t.Fatalf("re-arm durability: %v", err)
 					}
@@ -251,6 +260,108 @@ func TestCrashRecovery(t *testing.T) {
 					requireByteEqual(t, "second recovery", ref, final)
 				})
 			}
+		})
+	}
+}
+
+// TestDeltaCheckpointKillPoints sweeps deterministic FaultFS kill budgets
+// evenly across the full byte volume of a delta-checkpointing run, so crashes
+// land inside base-checkpoint writes, delta writes, and the re-base GC's file
+// removals — not just wherever a random draw happens to fall. Every surviving
+// state must recover byte-equal to the memory-only reference at the recovered
+// commit boundary.
+func TestDeltaCheckpointKillPoints(t *testing.T) {
+	spec, ok := workload.Get("VWAP")
+	if !ok {
+		t.Fatal("VWAP workload missing")
+	}
+	events := spec.Stream(0.1, 1)
+	if len(events) > maxRecoveryEvents {
+		events = events[:maxRecoveryEvents]
+	}
+	rng := rand.New(rand.NewSource(424243))
+	units := commitSchedule(rng, len(events))
+	dopts := func(fs wal.FS) engine.DurabilityOptions {
+		return engine.DurabilityOptions{
+			Dir: recoveryWalDir, FS: fs, Sync: wal.SyncEachCommit,
+			CheckpointEvery: recoveryCkptEvery, SynchronousCheckpoints: true,
+			DeltaCheckpoints: true, RebaseEvery: 2,
+		}
+	}
+
+	// Calibration run: measure the fault-free byte volume and prove the
+	// schedule actually exercises the delta path (RebaseEvery alternates
+	// base and delta links, so at least one .delta file must exist).
+	ffs := wal.NewFaultFS()
+	eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+	eng.SetShards(1)
+	if err := eng.SetDurability(dopts(ffs)); err != nil {
+		t.Fatalf("set durability: %v", err)
+	}
+	off := 0
+	for _, u := range units {
+		if err := applyUnit(eng, events, off, u); err != nil {
+			t.Fatalf("durable apply at %d: %v", off, err)
+		}
+		off += u.n
+	}
+	if err := eng.CloseDurability(); err != nil {
+		t.Fatalf("close durability: %v", err)
+	}
+	totalBytes := ffs.BytesWritten()
+	names, err := ffs.List(recoveryWalDir)
+	if err != nil {
+		t.Fatalf("list wal dir: %v", err)
+	}
+	deltas := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".delta") {
+			deltas++
+		}
+	}
+	if deltas == 0 {
+		t.Fatalf("calibration run wrote no delta checkpoints (files: %v)", names)
+	}
+
+	const killPoints = 40
+	for k := 0; k < killPoints; k++ {
+		k := k
+		t.Run(fmt.Sprintf("budget=%d/%d", k, killPoints), func(t *testing.T) {
+			budget := 1 + int64(k)*totalBytes/killPoints
+			trng := rand.New(rand.NewSource(int64(k)*7919 + 1))
+			ffs := wal.NewFaultFS()
+			eng := newEngineFor(t, spec, compiler.ModeDBToaster)
+			eng.SetShards(1)
+			if err := eng.SetDurability(dopts(ffs)); err != nil {
+				t.Fatalf("set durability: %v", err)
+			}
+			ffs.KillAfter(budget)
+			off := 0
+			for _, u := range units {
+				if err := applyUnit(eng, events, off, u); err != nil {
+					break
+				}
+				off += u.n
+			}
+			for name, n := range ffs.UnsyncedFiles() {
+				if trng.Intn(2) == 0 {
+					ffs.PartialFlush(name, trng.Intn(n+1))
+				}
+			}
+			clone := ffs.CrashClone()
+			_ = eng.CloseDurability()
+
+			rec := newEngineFor(t, spec, compiler.ModeDBToaster)
+			rec.SetShards(1)
+			stats, err := rec.Recover(engine.DurabilityOptions{Dir: recoveryWalDir, FS: clone})
+			if err != nil {
+				t.Fatalf("recover after kill at %d bytes: %v", budget, err)
+			}
+			names, _ := clone.List(recoveryWalDir)
+			t.Logf("stats: next=%d chain=%d replayed=%d skipped=%v files=%v",
+				stats.NextLSN, stats.ChainLength, stats.ReplayedEvents, stats.SkippedCheckpoints, names)
+			ref := referenceAt(t, spec, events, units, stats.NextLSN)
+			requireByteEqual(t, "delta kill-point recovery", ref, rec)
 		})
 	}
 }

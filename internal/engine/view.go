@@ -224,10 +224,14 @@ func (v *View) AddProjected(schema types.Schema, t types.Tuple, mult float64, ke
 }
 
 // Clear removes all contents and indexes. Outstanding snapshots keep the old
-// store (a fresh one is installed).
+// backing arrays (the store abandons rather than scrubs them). Clearing goes
+// through GMR.Clear — not a fresh gmr.New — because the store's epoch counter
+// and generation must stay monotone: a brand-new store would restart both at
+// zero, letting a stale delta-checkpoint base pass the eligibility check
+// while every new mutation stamps an epoch the dirty scan ignores.
 func (v *View) Clear() {
 	v.frozen = nil
-	v.data = gmr.New(types.Schema(v.keys))
+	v.data.Clear()
 	v.indexes = map[uint64]*secondaryIndex{}
 }
 

@@ -220,13 +220,14 @@ func LoadFlat(data []byte) (*GMR, error) {
 	}
 
 	g := &GMR{
-		schema:  schema,
-		arena:   append([]byte(nil), arena...),
-		slots:   make([]slot, nSlots),
-		index:   make([]uint64, nIndex),
-		free:    make([]int32, nFree),
-		live:    int(live),
-		deadKey: int(deadKey),
+		schema:     schema,
+		arena:      append([]byte(nil), arena...),
+		slots:      make([]slot, nSlots),
+		index:      make([]uint64, nIndex),
+		indexEpoch: make([]uint32, nIndex),
+		free:       make([]int32, nFree),
+		live:       int(live),
+		deadKey:    int(deadKey),
 	}
 	liveSeen := 0
 	for i := range g.slots {
@@ -272,58 +273,82 @@ func LoadFlat(data []byte) (*GMR, error) {
 	if liveSeen != int(live) {
 		return nil, fmt.Errorf("header live count %d but %d live slots", live, liveSeen)
 	}
-	freeSeen := make(map[int32]bool, nFree)
 	for i := range g.free {
-		id := int32(binary.LittleEndian.Uint32(freeBuf[i*4:]))
-		if id < 0 || id >= int32(nSlots) {
-			return nil, fmt.Errorf("free list entry %d: slot id %d out of range", i, id)
+		g.free[i] = int32(binary.LittleEndian.Uint32(freeBuf[i*4:]))
+	}
+	for i := range g.index {
+		g.index[i] = binary.LittleEndian.Uint64(indexBuf[i*8:])
+	}
+	if err := g.checkStoreInvariants(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// checkStoreInvariants verifies the cross-structure invariants of a
+// deserialized store: the header live count matches the live slots, the free
+// list holds exactly the dead slot ids (in-range, dead, no duplicates),
+// every probe cell references a live slot whose hash tag matches, the table
+// occupancy equals the live count, and every live slot is reachable through
+// the probe table under linear probing — the last check pins cluster
+// integrity (a shuffled but individually valid table would corrupt lookups
+// silently). Shared by LoadFlat and ApplyFlatDelta, the two paths that
+// install externally supplied bytes as a store.
+func (g *GMR) checkStoreInvariants() error {
+	liveSeen := 0
+	for i := range g.slots {
+		if !g.slots[i].dead {
+			liveSeen++
+		}
+	}
+	if liveSeen != g.live {
+		return fmt.Errorf("header live count %d but %d live slots", g.live, liveSeen)
+	}
+	if len(g.free) != len(g.slots)-liveSeen {
+		return fmt.Errorf("free list holds %d ids but %d slots are dead", len(g.free), len(g.slots)-liveSeen)
+	}
+	freeSeen := make(map[int32]bool, len(g.free))
+	for i, id := range g.free {
+		if id < 0 || id >= int32(len(g.slots)) {
+			return fmt.Errorf("free list entry %d: slot id %d out of range", i, id)
 		}
 		if !g.slots[id].dead {
-			return nil, fmt.Errorf("free list entry %d: slot %d is live", i, id)
+			return fmt.Errorf("free list entry %d: slot %d is live", i, id)
 		}
 		if freeSeen[id] {
-			return nil, fmt.Errorf("free list entry %d: slot %d listed twice", i, id)
+			return fmt.Errorf("free list entry %d: slot %d listed twice", i, id)
 		}
 		freeSeen[id] = true
-		g.free[i] = id
-	}
-	if int(nFree) != int(nSlots)-liveSeen {
-		return nil, fmt.Errorf("free list holds %d ids but %d slots are dead", nFree, int(nSlots)-liveSeen)
 	}
 	occupied := 0
-	for i := range g.index {
-		cell := binary.LittleEndian.Uint64(indexBuf[i*8:])
-		g.index[i] = cell
+	for i, cell := range g.index {
 		if cell == 0 {
 			continue
 		}
 		occupied++
 		id := int32(cell&0xFFFFFFFF) - 1
-		if id < 0 || id >= int32(nSlots) {
-			return nil, fmt.Errorf("probe cell %d: slot id %d out of range", i, id)
+		if id < 0 || id >= int32(len(g.slots)) {
+			return fmt.Errorf("probe cell %d: slot id %d out of range", i, id)
 		}
 		s := &g.slots[id]
 		if s.dead {
-			return nil, fmt.Errorf("probe cell %d: references dead slot %d", i, id)
+			return fmt.Errorf("probe cell %d: references dead slot %d", i, id)
 		}
 		if cell&^0xFFFFFFFF != s.hash&^0xFFFFFFFF {
-			return nil, fmt.Errorf("probe cell %d: hash tag does not match slot %d", i, id)
+			return fmt.Errorf("probe cell %d: hash tag does not match slot %d", i, id)
 		}
 	}
 	if occupied != liveSeen {
-		return nil, fmt.Errorf("probe table holds %d entries but %d slots are live", occupied, liveSeen)
+		return fmt.Errorf("probe table holds %d entries but %d slots are live", occupied, liveSeen)
 	}
-	// Every live slot must actually be reachable through the loaded probe
-	// table under linear probing — this pins cluster integrity (a shuffled
-	// but individually valid table would corrupt lookups silently).
 	for i := range g.slots {
 		s := &g.slots[i]
 		if s.dead {
 			continue
 		}
 		if _, id, ok := g.find(s.hash, g.keyAt(s)); !ok || id != int32(i) {
-			return nil, fmt.Errorf("slot %d: not reachable through the probe table", i)
+			return fmt.Errorf("slot %d: not reachable through the probe table", i)
 		}
 	}
-	return g, nil
+	return nil
 }

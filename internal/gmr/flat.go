@@ -35,7 +35,14 @@ type slot struct {
 	tuple  types.Tuple
 	keyOff uint32
 	keyLen uint32
-	dead   bool
+	// epoch is the store's epoch counter value at the slot's last mutation
+	// (insert, multiplicity update, tombstone). Freeze advances the counter,
+	// so a checkpoint can find every slot touched since a previous snapshot
+	// with one comparison per slot — the dirty tracking behind incremental
+	// delta checkpoints (delta.go). The field rides in the struct's existing
+	// padding: the record stays at 56 bytes.
+	epoch uint32
+	dead  bool
 }
 
 const (
@@ -110,6 +117,16 @@ func (g *GMR) findInsertPos(h uint64) uint64 {
 	return i
 }
 
+// setCell writes a probe cell and stamps it with the current epoch, so delta
+// serialization can re-emit exactly the cells whose contents changed since a
+// snapshot. Probe placement is history-dependent (linear probing plus
+// backward-shift deletion), so deltas must carry the actual cell values — a
+// rebuilt table would not be byte-equal to the original.
+func (g *GMR) setCell(pos uint64, cell uint64) {
+	g.index[pos] = cell
+	g.indexEpoch[pos] = g.epoch
+}
+
 // insertAt creates a new entry at the given empty probe cell. When
 // cloneTuple is false the slot aliases t directly; callers must guarantee t
 // is immutable (tuples already held by a GMR are).
@@ -123,7 +140,7 @@ func (g *GMR) insertAt(pos uint64, h uint64, key []byte, t types.Tuple, m float6
 	if cloneTuple {
 		t = t.Clone()
 	}
-	ns := slot{hash: h, mult: m, tuple: t, keyOff: off, keyLen: uint32(len(key))}
+	ns := slot{hash: h, mult: m, tuple: t, keyOff: off, keyLen: uint32(len(key)), epoch: g.epoch}
 	var id int32
 	if n := len(g.free); n > 0 {
 		id = g.free[n-1]
@@ -133,19 +150,23 @@ func (g *GMR) insertAt(pos uint64, h uint64, key []byte, t types.Tuple, m float6
 		id = int32(len(g.slots))
 		g.slots = append(g.slots, ns)
 	}
-	g.index[pos] = h&^0xFFFFFFFF | uint64(id+1)
+	g.setCell(pos, h&^0xFFFFFFFF|uint64(id+1))
 	g.live++
 	return id
 }
 
 // grow doubles the probe table and reinserts every live slot by its cached
 // hash. Slot ids (and therefore secondary-index postings) are unaffected.
+// The fresh epoch-stamp array starts zeroed: a capacity change invalidates
+// outstanding delta bases anyway (their IndexLen no longer matches), and a
+// base captured after the grow sees the reinserted cells as its baseline.
 func (g *GMR) grow() {
 	n := len(g.index) * 2
 	if n == 0 {
 		n = minIndexSize
 	}
 	g.index = make([]uint64, n)
+	g.indexEpoch = make([]uint32, n)
 	for i := range g.slots {
 		s := &g.slots[i]
 		if s.dead {
@@ -163,6 +184,7 @@ func (g *GMR) deleteAt(pos uint64, id int32) {
 	s.dead = true
 	s.tuple = nil
 	s.mult = 0
+	s.epoch = g.epoch
 	g.deadKey += int(s.keyLen)
 	g.free = append(g.free, id)
 	g.live--
@@ -181,11 +203,11 @@ func (g *GMR) deleteAt(pos uint64, id int32) {
 		// lies cyclically within (i, j] — moving it then would break its
 		// probe chain.
 		if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
-			g.index[i] = e
+			g.setCell(i, e)
 			i = j
 		}
 	}
-	g.index[i] = 0
+	g.setCell(i, 0)
 
 	if g.deadKey > 4096 && g.deadKey*2 > len(g.arena) {
 		g.compactArena()
@@ -193,7 +215,10 @@ func (g *GMR) deleteAt(pos uint64, id int32) {
 }
 
 // compactArena rewrites the arena with only the live keys. Slot ids are
-// stable across compaction; only the key offsets move.
+// stable across compaction; only the key offsets move. Compaction rewrites
+// the key offset of every live slot without stamping them, so it bumps the
+// flat generation instead: outstanding delta bases are invalidated and the
+// view's next checkpoint is a full base rewrite.
 func (g *GMR) compactArena() {
 	na := make([]byte, 0, len(g.arena)-g.deadKey)
 	for i := range g.slots {
@@ -207,6 +232,7 @@ func (g *GMR) compactArena() {
 	}
 	g.arena = na
 	g.deadKey = 0
+	g.flatGen++
 }
 
 // upsertHashed is the shared mutation core: add m to the entry under key
@@ -223,6 +249,7 @@ func (g *GMR) upsertHashed(h uint64, key []byte, t types.Tuple, m float64, clone
 	}
 	s := &g.slots[id]
 	s.mult += m
+	s.epoch = g.epoch
 	if math.Abs(s.mult) <= Epsilon {
 		g.deleteAt(pos, id)
 		return id, 0, false

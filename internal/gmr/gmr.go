@@ -69,6 +69,18 @@ type GMR struct {
 	// stay immutable; flagSealed marks a snapshot itself — mutations panic.
 	// One byte keeps the never-frozen mutation gate a single load-and-test.
 	flags uint8
+	// epoch, flatGen and indexEpoch drive incremental delta checkpoints
+	// (delta.go). Every mutation stamps the touched slot record and probe
+	// cells with epoch; Freeze captures the counter into the snapshot and
+	// advances it, so "dirty since snapshot S" is one comparison per slot or
+	// cell. flatGen is bumped by whole-store rewrites that move state without
+	// stamping it (arena compaction, Reset, Clear, epoch wrap-around): a
+	// delta base from another generation is rejected and the view falls back
+	// to a full serialization. indexEpoch is the per-probe-cell stamp array,
+	// always the same length as index, and is part of the copy-on-write unit.
+	epoch      uint32
+	flatGen    uint32
+	indexEpoch []uint32
 }
 
 // New returns an empty GMR with the given schema.
@@ -146,6 +158,7 @@ func (g *GMR) Set(t types.Tuple, m float64) {
 	}
 	if ok {
 		g.slots[id].mult = m
+		g.slots[id].epoch = g.epoch
 		return
 	}
 	g.insertAt(pos, h, g.keyBuf, t, m, true)
@@ -282,23 +295,31 @@ func (g *GMR) Entries() []Entry {
 
 // Clone returns a copy of the GMR. Per the package aliasing contract the
 // copy shares the (immutable) tuples with the receiver; arena, slots and
-// probe table are copied, so the two evolve independently.
+// probe table are copied, so the two evolve independently. The clone is a
+// distinct store lineage: its flat generation is advanced past the
+// receiver's, so a delta base captured from one never validates against the
+// other once they diverge.
 func (g *GMR) Clone() *GMR {
-	out := &GMR{schema: g.schema.Clone(), live: g.live, deadKey: g.deadKey}
+	out := &GMR{schema: g.schema.Clone(), live: g.live, deadKey: g.deadKey,
+		epoch: g.epoch, flatGen: g.flatGen + 1}
 	out.arena = append([]byte(nil), g.arena...)
 	out.slots = append([]slot(nil), g.slots...)
 	out.index = append([]uint64(nil), g.index...)
+	out.indexEpoch = append([]uint32(nil), g.indexEpoch...)
 	out.free = append([]int32(nil), g.free...)
 	return out
 }
 
 // Clear removes all entries and releases the table's memory. Outstanding
 // snapshots keep the old contents (Clear installs fresh empty structures).
+// The epoch counter survives and the flat generation advances: stamps in any
+// shared snapshot stay comparable, while delta bases from before the Clear
+// are invalidated.
 func (g *GMR) Clear() {
 	if g.flags&flagSealed != 0 {
 		panic("gmr: mutation of a frozen snapshot")
 	}
-	*g = GMR{schema: g.schema}
+	*g = GMR{schema: g.schema, epoch: g.epoch, flatGen: g.flatGen + 1}
 }
 
 // Reset removes all entries but keeps the allocated arena, slot slice and
@@ -310,9 +331,10 @@ func (g *GMR) Reset() {
 	if g.flags&flagSealed != 0 {
 		panic("gmr: mutation of a frozen snapshot")
 	}
+	g.flatGen++
 	if g.flags&flagCOW != 0 {
 		g.flags &^= flagCOW
-		g.arena, g.slots, g.index, g.free = nil, nil, nil, nil
+		g.arena, g.slots, g.index, g.indexEpoch, g.free = nil, nil, nil, nil, nil
 		g.live, g.deadKey = 0, 0
 		return
 	}
@@ -320,6 +342,7 @@ func (g *GMR) Reset() {
 	g.slots = g.slots[:0]
 	g.free = g.free[:0]
 	clear(g.index)
+	clear(g.indexEpoch)
 	g.live = 0
 	g.deadKey = 0
 }
@@ -554,7 +577,7 @@ func (g *GMR) String() string {
 // table itself (arena, slot records, probe table, free list) plus the
 // estimated payload of the live tuples.
 func (g *GMR) MemSize() int {
-	n := 96 + cap(g.arena) + cap(g.slots)*slotBytes + cap(g.index)*8 + cap(g.free)*4
+	n := 96 + cap(g.arena) + cap(g.slots)*slotBytes + cap(g.index)*8 + cap(g.indexEpoch)*4 + cap(g.free)*4
 	for i := range g.slots {
 		s := &g.slots[i]
 		if s.dead {

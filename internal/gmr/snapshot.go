@@ -1,5 +1,7 @@
 package gmr
 
+import "math"
+
 // This file implements the freeze mechanism behind the engine's snapshot-
 // isolated read path: Freeze returns a sealed, read-only GMR that shares the
 // receiver's current arena, slot slice and probe table, and arms the receiver
@@ -41,11 +43,12 @@ func (g *GMR) Freeze() *GMR {
 		return g
 	}
 	g.flags |= flagCOW
-	return &GMR{
-		schema: g.schema,
-		arena:  g.arena,
-		slots:  g.slots,
-		index:  g.index,
+	snap := &GMR{
+		schema:     g.schema,
+		arena:      g.arena,
+		slots:      g.slots,
+		index:      g.index,
+		indexEpoch: g.indexEpoch,
 		// The free list is copied, not shared: the writer may pop an id and
 		// then push another into the vacated backing element, which would
 		// mutate the snapshot's view of it. It must be captured — a checkpoint
@@ -57,8 +60,29 @@ func (g *GMR) Freeze() *GMR {
 		free:    append([]int32(nil), g.free...),
 		live:    g.live,
 		deadKey: g.deadKey,
+		epoch:   g.epoch,
+		flatGen: g.flatGen,
 		flags:   flagSealed,
 	}
+	// Advance the epoch so every mutation after this freeze stamps strictly
+	// newer than the snapshot's captured value — that strict inequality is
+	// what FlatDirty and AppendFlatDelta (delta.go) test per slot and probe
+	// cell. On the (effectively unreachable) wrap-around, force the writer's
+	// private copy first — the stamps live in structures the snapshot shares
+	// — then restart the stamps under a fresh generation, which invalidates
+	// every outstanding delta base.
+	if g.epoch == math.MaxUint32 {
+		g.cowCopy()
+		for i := range g.slots {
+			g.slots[i].epoch = 0
+		}
+		clear(g.indexEpoch)
+		g.epoch = 1
+		g.flatGen++
+	} else {
+		g.epoch++
+	}
+	return snap
 }
 
 // Sealed reports whether the GMR is a frozen snapshot (mutations panic).
@@ -85,4 +109,5 @@ func (g *GMR) cowCopy() {
 	g.flags &^= flagCOW
 	g.slots = append([]slot(nil), g.slots...)
 	g.index = append([]uint64(nil), g.index...)
+	g.indexEpoch = append([]uint32(nil), g.indexEpoch...)
 }

@@ -163,11 +163,15 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
-// GC removes checkpoints beyond the newest keepCheckpoints and the stale temp
-// files of interrupted checkpoint writes. Segment retention is the log's job
-// (Log.RemoveSegmentsBelow with the oldest retained checkpoint's LSN, which
-// GC returns). Best-effort: removal errors are returned but the state is
-// usable regardless — recovery tolerates extra files.
+// GC removes checkpoint files unreachable from the chains rooted at the
+// newest keepCheckpoints head LSNs, plus the stale temp files of interrupted
+// checkpoint writes. Reachability follows the parent links encoded in delta
+// file names, so a retained delta head keeps its whole chain back to its
+// base; legacy `.ckpt` files are single-link chains. Segment retention is the
+// log's job (Log.RemoveSegmentsBelow with the oldest retained head's LSN,
+// which GC returns — replay from that head needs no earlier segment, however
+// old its chain's base is). Best-effort: removal errors are returned but the
+// state is usable regardless — recovery tolerates extra files.
 func GC(fs FS, dir string) (oldestRetained uint64, err error) {
 	if fs == nil {
 		fs = DiskFS()
@@ -176,13 +180,13 @@ func GC(fs FS, dir string) (oldestRetained uint64, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: list %s: %w", dir, err)
 	}
-	ckpts := checkpointLSNs(names)
-	drop := 0
-	if len(ckpts) > keepCheckpoints {
-		drop = len(ckpts) - keepCheckpoints
-	}
-	for _, c := range ckpts[:drop] {
-		if rerr := fs.Remove(join(dir, c.name)); rerr != nil && err == nil {
+	entries := chainEntries(names)
+	keep, oldestHead := chainKeep(entries)
+	for _, e := range entries {
+		if keep[e.name] {
+			continue
+		}
+		if rerr := fs.Remove(join(dir, e.name)); rerr != nil && err == nil {
 			err = rerr
 		}
 	}
@@ -193,16 +197,18 @@ func GC(fs FS, dir string) (oldestRetained uint64, err error) {
 			}
 		}
 	}
-	if len(ckpts) == 0 {
-		return 0, err
-	}
-	return ckpts[drop].lsn, err
+	return oldestHead, err
 }
 
 // Recovered is everything Scan reconstructs from a log directory.
 type Recovered struct {
-	// Checkpoint is the newest valid checkpoint, or nil when recovery starts
-	// from an empty engine.
+	// Chain is the newest valid checkpoint chain, base link first, or nil
+	// when recovery starts from an empty engine. Recovery installs the base's
+	// full images, patches each delta link in order, then replays Records.
+	Chain []*ChainCheckpoint
+	// Checkpoint is the legacy single-image projection, populated only when
+	// the chain is one all-full base link (which every legacy `.ckpt` and
+	// every `.base` head without deltas is); nil otherwise.
 	Checkpoint *Checkpoint
 	// Records is the committed log tail after the checkpoint, in LSN order.
 	Records []Record
@@ -219,8 +225,12 @@ type Recovered struct {
 	SkippedCheckpoints []string
 }
 
-// Scan reads a log directory and reconstructs the recovery plan: newest valid
-// checkpoint plus the contiguous committed record tail after it. A record
+// Scan reads a log directory and reconstructs the recovery plan: the newest
+// checkpoint chain that validates whole — head candidates are tried newest
+// LSN first (preferring a base over a delta over a legacy file at the same
+// LSN is handled by chain entry ordering), and a chain broken anywhere (CRC,
+// structure, missing parent) is skipped in favor of the next older head —
+// plus the contiguous committed record tail after the chain head. A record
 // that fails validation with valid records after it means corruption and
 // fails the scan; a failure with nothing but garbage after it is a torn tail
 // and is dropped cleanly. An empty or absent directory recovers to an empty
@@ -236,19 +246,28 @@ func Scan(fs FS, dir string) (*Recovered, error) {
 	}
 
 	out := &Recovered{}
-	ckpts := checkpointLSNs(names)
-	for i := len(ckpts) - 1; i >= 0; i-- {
-		c, cerr := ReadCheckpoint(fs, dir, ckpts[i].name)
+	entries := chainEntries(names)
+	cache := make(map[string]*ChainCheckpoint)
+	for i := len(entries) - 1; i >= 0; i-- {
+		chain, cerr := resolveChain(fs, dir, entries, entries[i], cache)
 		if cerr != nil {
-			out.SkippedCheckpoints = append(out.SkippedCheckpoints, fmt.Sprintf("%s: %v", ckpts[i].name, cerr))
+			out.SkippedCheckpoints = append(out.SkippedCheckpoints, cerr.Error())
 			continue
 		}
-		out.Checkpoint = c
+		out.Chain = chain
 		break
 	}
 	base := uint64(0)
-	if out.Checkpoint != nil {
-		base = out.Checkpoint.LSN
+	if len(out.Chain) > 0 {
+		base = out.Chain[len(out.Chain)-1].LSN
+		if len(out.Chain) == 1 {
+			c := out.Chain[0]
+			legacy := &Checkpoint{LSN: c.LSN, EngineEvents: c.EngineEvents}
+			for _, v := range c.Views {
+				legacy.Views = append(legacy.Views, ViewImage{Name: v.Name, Data: v.Data})
+			}
+			out.Checkpoint = legacy
+		}
 	}
 
 	segs := segmentLSNs(names)

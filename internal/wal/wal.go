@@ -5,12 +5,16 @@
 // holding length-prefixed, CRC-32C-checksummed records; each record frames
 // one commit unit — a single event or a whole batch window — so a batched
 // apply amortizes to one append and (under group commit) one fsync. LSNs
-// number logged events, not records. Checkpoints (`ckpt-<LSN>.ckpt`)
-// serialize each view's frozen flat store near-verbatim from an engine
-// snapshot, concurrently with the writer, and bound replay: recovery loads
-// the newest valid checkpoint (falling back to an older one if the newest is
-// damaged) and replays the log tail after it, truncating a torn tail while
-// treating a bad record with valid records after it as corruption. The
+// number logged events, not records. Checkpoints form chains (chain.go): a
+// base file (`ckpt-<LSN>.base`) serializes each view's frozen flat store
+// near-verbatim from an engine snapshot, concurrently with the writer, and
+// delta files (`ckpt-<LSN>-<parent>.delta`) carry only the slots touched
+// since the parent checkpoint, so steady-state checkpoint cost tracks the
+// change rate rather than the store size. Recovery loads the newest chain
+// that validates whole (falling back to an older head if any link is
+// damaged; legacy single-file `ckpt-<LSN>.ckpt` checkpoints still load) and
+// replays the log tail after the head, truncating a torn tail while treating
+// a bad record with valid records after it as corruption. The
 // crash-consistency contract and formats are documented in
 // docs/durability.md; FaultFS is the in-process crash harness the recovery
 // property tests inject through.
@@ -22,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,6 +133,26 @@ type Log struct {
 	closed  bool
 	syncErr error // sticky logger/sync failure, surfaced on next Append
 
+	// Checkpoint observability (NoteCheckpoint/Stats), under mu. Background
+	// checkpoint failures used to surface only on the next Append; these let
+	// callers see them promptly.
+	lastCkptLSN   uint64
+	lastCkptBytes int64
+	lastCkptErr   error
+	chainLen      int
+	ckptCount     int64
+	ckptBytes     int64
+
+	// appendedBytes counts record bytes written to segments; atomic because
+	// the logger goroutine writes without holding mu.
+	appendedBytes atomic.Int64
+
+	// dirMu serializes directory-shape operations — segment creation
+	// (openSegment, including the logger's rotations), checkpoint GC and
+	// segment removal — so a GC listing never races a concurrent rotation's
+	// create/rename and deletes from a stale view of the directory.
+	dirMu sync.Mutex
+
 	// Synchronous-path state (SyncEachCommit); owned by the logger goroutine
 	// for the async policies, where the queue's barrier tasks serialize all
 	// access.
@@ -192,7 +217,9 @@ func checkpointName(lsn uint64) string { return fmt.Sprintf("ckpt-%016x.ckpt", l
 // the async policies — by the logger goroutine on rotation; under
 // SyncEachCommit the caller holds l.mu.
 func (l *Log) openSegment(name string) error {
+	l.dirMu.Lock()
 	f, err := l.fs.Create(join(l.dir, name))
+	l.dirMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("wal: create segment %s: %w", name, err)
 	}
@@ -250,6 +277,7 @@ func (l *Log) logger() {
 				l.fail(fmt.Errorf("wal: append: %w", err))
 				continue
 			}
+			l.appendedBytes.Add(int64(len(buf)))
 			l.unsynced = true
 		case task.closeSeg:
 			err := l.syncSeg()
@@ -353,6 +381,7 @@ func (l *Log) Append(batch bool, events []Event) (uint64, error) {
 			// truncates it. The events were never committed.
 			return 0, fmt.Errorf("wal: append: %w", err)
 		}
+		l.appendedBytes.Add(int64(len(l.buf)))
 		l.unsynced = true
 		if err := l.seg.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
@@ -421,22 +450,123 @@ func (l *Log) Rotate() error {
 // A segment's span is bounded by the next segment's first LSN, so the newest
 // segment is never removed.
 func (l *Log) RemoveSegmentsBelow(lsn uint64) error {
-	l.mu.Lock()
-	fs, dir := l.fs, l.dir
-	l.mu.Unlock()
-	names, err := fs.List(dir)
+	l.dirMu.Lock()
+	defer l.dirMu.Unlock()
+	return l.removeSegmentsBelowLocked(lsn)
+}
+
+func (l *Log) removeSegmentsBelowLocked(lsn uint64) error {
+	// fs and dir are immutable after Open; no need for l.mu here (and Log.GC
+	// must not take it — the lock order is l.mu before dirMu, never reversed).
+	names, err := l.fs.List(l.dir)
 	if err != nil {
-		return fmt.Errorf("wal: list %s: %w", dir, err)
+		return fmt.Errorf("wal: list %s: %w", l.dir, err)
 	}
 	segs := segmentLSNs(names)
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i+1].lsn <= lsn {
-			if err := fs.Remove(join(dir, segs[i].name)); err != nil {
+			if err := l.fs.Remove(join(l.dir, segs[i].name)); err != nil {
 				return fmt.Errorf("wal: remove %s: %w", segs[i].name, err)
 			}
 		}
 	}
 	return nil
+}
+
+// GC garbage-collects the log's directory as one serialized unit: checkpoint
+// files unreachable from the newest retained chains (see the package GC
+// function), then the segments wholly covered by the oldest retained head.
+// Holding dirMu across both steps means a concurrent Rotate cannot interleave
+// a segment create between the listing and the removals.
+func (l *Log) GC() (oldestRetained uint64, err error) {
+	l.dirMu.Lock()
+	defer l.dirMu.Unlock()
+	names, err := l.fs.List(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: list %s: %w", l.dir, err)
+	}
+	entries := chainEntries(names)
+	keep, oldestHead := chainKeep(entries)
+	for _, e := range entries {
+		if keep[e.name] {
+			continue
+		}
+		if rerr := l.fs.Remove(join(l.dir, e.name)); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".tmp" {
+			if rerr := l.fs.Remove(join(l.dir, n)); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	}
+	if serr := l.removeSegmentsBelowLocked(oldestHead); serr != nil && err == nil {
+		err = serr
+	}
+	return oldestHead, err
+}
+
+// Stats is a point-in-time snapshot of the log's observable counters,
+// including the outcome of the most recent checkpoint attempt — background
+// checkpoint failures are visible here immediately instead of only poisoning
+// a later Append.
+type Stats struct {
+	// NextLSN is the LSN the next appended event will carry.
+	NextLSN uint64
+	// Err is the sticky logger/sync failure that would surface on the next
+	// Append, or nil.
+	Err error
+	// AppendedBytes is the total record bytes written to segment files.
+	AppendedBytes int64
+	// Checkpoints and CheckpointBytes total the checkpoint attempts reported
+	// via NoteCheckpoint and the bytes of the successful ones.
+	Checkpoints     int64
+	CheckpointBytes int64
+	// LastCheckpointLSN/Bytes/Err describe the most recent checkpoint
+	// attempt; ChainLength is its chain length (1 for a base, parents + 1 for
+	// a delta).
+	LastCheckpointLSN   uint64
+	LastCheckpointBytes int64
+	LastCheckpointErr   error
+	ChainLength         int
+}
+
+// Stats returns the log's current counters. Safe to call concurrently with
+// appends and checkpoints.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		NextLSN:             l.nextLSN,
+		Err:                 l.syncErr,
+		AppendedBytes:       l.appendedBytes.Load(),
+		Checkpoints:         l.ckptCount,
+		CheckpointBytes:     l.ckptBytes,
+		LastCheckpointLSN:   l.lastCkptLSN,
+		LastCheckpointBytes: l.lastCkptBytes,
+		LastCheckpointErr:   l.lastCkptErr,
+		ChainLength:         l.chainLen,
+	}
+}
+
+// NoteCheckpoint records the outcome of a checkpoint attempt against this
+// log's directory for Stats to report. The checkpointer (the engine's
+// durability layer) calls it after every attempt, failed or not.
+func (l *Log) NoteCheckpoint(lsn uint64, bytes int, chainLen int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ckptCount++
+	l.lastCkptLSN = lsn
+	l.lastCkptErr = err
+	l.chainLen = chainLen
+	if err == nil {
+		l.ckptBytes += int64(bytes)
+		l.lastCkptBytes = int64(bytes)
+	} else {
+		l.lastCkptBytes = 0
+	}
 }
 
 // Close drains the pipeline, syncs and closes the log. It reports the first

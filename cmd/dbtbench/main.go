@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbtbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | wal_overhead | recovery_time | ckpt_delta | mqo")
+	experiment := fs.String("experiment", "fig6_7", "fig6_7 | fig8_traces | fig9_traces | fig10_traces | fig11_scaling | fig2_features | batch_throughput | batch_scaling | exec_throughput | gmr_memory | read_freshness | read_fanout | wal_overhead | recovery_time | ckpt_delta | mqo")
 	queries := fs.String("queries", "", "comma-separated query names (default: all for the experiment)")
 	scale := fs.Float64("scale", 0.25, "stream scale factor")
 	budget := fs.Duration("budget", 2*time.Second, "per-cell time budget")
@@ -39,6 +39,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "shard workers for batched execution (0 = GOMAXPROCS)")
 	execFlag := fs.String("exec", "compiled", "statement executors: compiled | interp | verify")
 	readers := fs.Int("readers", 2, "concurrent snapshot readers (read_freshness experiment)")
+	subsFlag := fs.String("subs", "1,64,1024", "comma-separated TCP subscriber counts for read_fanout (a subs=0 baseline and a slow-client cell are always added)")
 	guard := fs.String("guard", "", "comma-separated queries the batch_scaling guard enforces (empty = report only)")
 	walFlag := fs.String("wal", "", "log directory for the durability experiments (empty = per-cell temp dirs; \"mem\" = in-memory filesystem for wal_overhead, isolating the software path from the device)")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "checkpoint interval in events for recovery_time (0 = sweep log-only, coarse and fine)")
@@ -132,6 +133,24 @@ func run(args []string) error {
 		results := bench.ReadFreshness(pick([]string{"Q1", "Q3", "Q6", "VWAP"}), []int{1, 4}, *readers, opts)
 		fmt.Println("Serving layer — write throughput vs reader QPS and snapshot staleness (DBToaster, batched replay):")
 		fmt.Print(bench.FormatFreshnessTable(results))
+	case "read_fanout":
+		var subCounts []int
+		for _, s := range strings.Split(*subsFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				return fmt.Errorf("bad -subs entry %q", s)
+			}
+			subCounts = append(subCounts, n)
+		}
+		results := bench.ReadFanout(pick([]string{"Q1", "Q3", "VWAP"}), subCounts, opts)
+		fmt.Println("Networked fan-out — writer throughput and subscriber staleness vs TCP subscriber count (DBToaster, batched replay):")
+		fmt.Print(bench.FormatFanoutTable(results))
+		if *guard != "" {
+			if err := bench.CheckFanout(results, strings.Split(*guard, ","), subCounts[len(subCounts)-1]); err != nil {
+				return err
+			}
+			fmt.Printf("fanout guard passed for %s\n", *guard)
+		}
 	case "gmr_memory":
 		results := bench.MemoryProfile(pick([]string{"Q1", "Q3", "Q6", "Q12", "Q18a", "VWAP", "MDDB1"}), opts)
 		fmt.Println("GMR storage — flat-store view accounting vs runtime heap (compiled replay):")

@@ -1,0 +1,262 @@
+// Command dbtserve is the networked serving tier: it compiles a set of
+// workload queries into ONE hash-consed shared engine (compiler.CompileSet,
+// so alpha-equivalent maps across the query set are maintained once), keeps
+// the views fresh by replaying the combined update agenda, and serves remote
+// consumers over two listeners — snapshot reads over HTTP/JSON (each
+// response pinned to one engine epoch) and change-stream subscriptions over
+// the binary TCP protocol of internal/serve. SIGINT/SIGTERM drain
+// gracefully: the stream clients get a Bye frame and may reconnect with
+// their resume tokens.
+//
+// The -probe mode turns the binary into a client instead: it fetches a
+// snapshot, subscribes to the change stream for a few batches, verifies the
+// reassembled copy against a snapshot at the same-or-later epoch, and exits —
+// the CI smoke test and a minimal serve.Client usage example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/serve"
+	"dbtoaster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbtserve", flag.ContinueOnError)
+	queries := fs.String("queries", "Q1,Q3,Q12,Q18a", "comma-separated workload queries to serve from one shared engine")
+	mode := fs.String("mode", "dbtoaster", "compilation mode: dbtoaster | ivm")
+	scale := fs.Float64("scale", 0.25, "stream scale factor")
+	seed := fs.Int64("seed", 1, "stream generator seed")
+	batch := fs.Int("batch", 64, "events per maintenance batch (one publication each)")
+	replay := fs.String("replay", "once", "agenda replay: once | loop | off")
+	maxEvents := fs.Int("events", 0, "cap on replayed events (0 = the full generated stream)")
+	httpAddr := fs.String("http", "127.0.0.1:0", "snapshot (HTTP) listen address; - disables")
+	tcpAddr := fs.String("tcp", "127.0.0.1:0", "change-stream (TCP) listen address; - disables")
+	clientBuf := fs.Int("client-buffer", 16, "per-client stream buffer in batches before coalescing")
+	probe := fs.Bool("probe", false, "client mode: snapshot + short subscription against a running dbtserve")
+	snapshotAt := fs.String("snapshot-addr", "", "probe: the server's HTTP address")
+	streamAt := fs.String("stream-addr", "", "probe: the server's TCP stream address")
+	probeQuery := fs.String("query", "", "probe: query to read (default: the server's first)")
+	probeBatches := fs.Int("batches", 1, "probe: change batches to consume before disconnecting")
+	wait := fs.Duration("wait", 15*time.Second, "probe: how long to retry the first connection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *probe {
+		return runProbe(*snapshotAt, *streamAt, *probeQuery, *probeBatches, *wait)
+	}
+
+	ms, err := workload.Combine(strings.Split(*queries, ","))
+	if err != nil {
+		return err
+	}
+	copts := compiler.OptionsFor(compiler.ModeDBToaster)
+	switch *mode {
+	case "dbtoaster":
+	case "ivm":
+		copts = compiler.OptionsFor(compiler.ModeIVM)
+	default:
+		return fmt.Errorf("unknown mode %q (want dbtoaster|ivm)", *mode)
+	}
+	prog, rep, err := compiler.CompileSet(ms.Queries, ms.Catalog, copts)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(prog)
+	for name, data := range ms.Statics() {
+		eng.LoadStatic(name, data)
+	}
+	if err := eng.Init(); err != nil {
+		return err
+	}
+
+	// replaying/replayed drive the /stats extra block, so remote consumers
+	// (the dashboard example, the CI smoke) can tell when the agenda is done.
+	var replaying atomic.Bool
+	var replayed atomic.Uint64
+	srv, err := serve.New(eng, serve.Options{
+		SnapshotAddr: *httpAddr,
+		StreamAddr:   *tcpAddr,
+		ClientBuffer: *clientBuf,
+		Status: func() map[string]any {
+			return map[string]any{
+				"replaying": replaying.Load(),
+				"replayed":  replayed.Load(),
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dbtserve: serving %d queries (%d maps, %d saved by sharing) http=%s tcp=%s\n",
+		len(ms.Names), rep.TotalMaps, rep.DisjointMaps-rep.TotalMaps, srv.SnapshotAddr(), srv.StreamAddr())
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	writerDone := make(chan error, 1)
+	go func() {
+		writerDone <- replayLoop(eng, ms, *scale, *seed, *batch, *maxEvents, *replay, &replaying, &replayed, stop)
+	}()
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dbtserve: %v, draining\n", s)
+		close(stop)
+		if err := <-writerDone; err != nil {
+			srv.Shutdown(context.Background())
+			return err
+		}
+	case err := <-writerDone:
+		if err != nil {
+			srv.Shutdown(context.Background())
+			return err
+		}
+		// Replay finished (or was off): keep serving until a signal.
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "dbtserve: %v, draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("dbtserve: drained")
+	return nil
+}
+
+// replayLoop drives the combined agenda through the engine until done (or,
+// with -replay loop, until stop closes; multiplicities keep accumulating,
+// which a long-running serving demo tolerates).
+func replayLoop(eng *engine.Engine, ms *workload.MultiSpec, scale float64, seed int64, batch, maxEvents int, mode string, replaying *atomic.Bool, replayed *atomic.Uint64, stop <-chan struct{}) error {
+	if mode == "off" {
+		return nil
+	}
+	if mode != "once" && mode != "loop" {
+		return fmt.Errorf("unknown replay mode %q (want once|loop|off)", mode)
+	}
+	stream := ms.Stream(scale, seed)
+	if maxEvents > 0 && len(stream) > maxEvents {
+		stream = stream[:maxEvents]
+	}
+	batches := workload.Batches(stream, batch)
+	replaying.Store(true)
+	defer replaying.Store(false)
+	for {
+		for _, window := range batches {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+			if err := eng.ApplyBatch(engine.NewBatch(window)); err != nil {
+				return err
+			}
+			replayed.Add(uint64(len(window)))
+		}
+		if mode != "loop" {
+			return nil
+		}
+	}
+}
+
+// runProbe is the client mode: one snapshot read, a short subscription, and
+// a consistency check between the two paths.
+func runProbe(snapshotAddr, streamAddr, query string, batches int, wait time.Duration) error {
+	if snapshotAddr == "" {
+		return fmt.Errorf("probe: -snapshot-addr required")
+	}
+	deadline := time.Now().Add(wait)
+	var snap *serve.SnapshotResult
+	var err error
+	for {
+		if snap, err = serve.FetchSnapshot(snapshotAddr, query); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("probe: snapshot: %w", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Printf("probe: snapshot %s view=%s events=%d rows=%d\n", snap.Query, snap.View, snap.Events, len(snap.Rows))
+
+	if streamAddr == "" {
+		return nil
+	}
+	c, err := serve.Dial(streamAddr, query, serve.ClientOptions{})
+	if err != nil {
+		return fmt.Errorf("probe: dial: %w", err)
+	}
+	defer c.Close()
+	// Consume the catch-up plus the requested number of delta batches (a
+	// quiet server delivers no deltas; settle for the catch-up after 2s).
+	deltas := 0
+	timeout := time.After(2 * time.Second)
+consume:
+	for deltas < batches {
+		select {
+		case b, ok := <-c.C:
+			if !ok {
+				break consume
+			}
+			if !b.Initial {
+				deltas++
+			}
+		case <-timeout:
+			break consume
+		}
+	}
+	// Keep draining so the reassembled copy tracks the writer, then verify
+	// against a snapshot once the server is quiescent (replaying=false in
+	// /stats — guaranteed to settle with -replay once). Note the positions
+	// are NOT compared: a snapshot reports the engine's global event counter
+	// while a change stream's position is the view's last publication (views
+	// skip batches that leave them unchanged), so only state can be compared.
+	go func() {
+		for range c.C {
+		}
+	}()
+	var check *serve.SnapshotResult
+	for tries := 0; tries < 50; tries++ {
+		st, err := serve.FetchStats(snapshotAddr)
+		if err != nil {
+			return fmt.Errorf("probe: stats: %w", err)
+		}
+		if replaying, ok := st.Extra["replaying"].(bool); ok && replaying {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if check, err = serve.FetchSnapshot(snapshotAddr, query); err != nil {
+			return fmt.Errorf("probe: verify snapshot: %w", err)
+		}
+		if len(check.Rows) == c.Result().Len() {
+			fmt.Printf("probe: stream view=%s events=%d rows=%d deltas=%d — consistent with a quiescent snapshot\n",
+				c.View(), c.Events(), c.Result().Len(), deltas)
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if check == nil {
+		return fmt.Errorf("probe: server never went quiescent")
+	}
+	return fmt.Errorf("probe: stream copy (events %d, %d rows) never matched a quiescent snapshot (last: %d rows at events %d)",
+		c.Events(), c.Result().Len(), len(check.Rows), check.Events)
+}

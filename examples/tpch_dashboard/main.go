@@ -1,124 +1,46 @@
 // Command tpch_dashboard keeps a small "live business dashboard" of TPC-H
-// style views (revenue by return flag, shipping-priority revenue, and the
-// large-order report Q18a) fresh over the synthetic order/lineitem agenda
-// stream — the online decision-support scenario of the paper's evaluation.
+// style views (revenue by return flag, shipping-priority revenue, the
+// urgent-order count Q12, and the large-order report Q18a) fresh over the
+// synthetic order/lineitem agenda stream — the online decision-support
+// scenario of the paper's evaluation.
 //
-// Unlike the early polling version, each dashboard panel is a change-stream
-// consumer: it subscribes to the query's result view and applies the pushed
-// ChangeBatch deltas to its own copy while the maintenance engine replays
-// the agenda through the shard-parallel batch pipeline on another goroutine.
-// The panel never polls and never blocks the writer; if it falls behind,
-// the engine coalesces the missed publications into the next delivery.
+// This version is a fully networked consumer: it spawns a dbtserve process
+// (one shared engine serving all four queries, replaying the agenda), then
+// each dashboard panel is a serve.Client that subscribes to its query's
+// change stream over TCP and maintains a local copy of the result purely
+// from the pushed catch-up and delta batches. When the server goes
+// quiescent (the /stats replay flag clears), every panel is checked
+// row-for-row against an HTTP snapshot of the same view — the two read
+// paths must agree on state.
+//
+// Run it from the repository root (it builds and spawns ./cmd/dbtserve), or
+// point it at an already-running server:
+//
+//	go run ./examples/tpch_dashboard
+//	go run ./examples/tpch_dashboard -snapshot-addr 127.0.0.1:8080 -stream-addr 127.0.0.1:9090
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
-	"dbtoaster/internal/compiler"
-	"dbtoaster/internal/engine"
 	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/serve"
 	"dbtoaster/internal/types"
-	"dbtoaster/internal/workload"
 )
 
-// panel is one dashboard tile: a consumer-side copy of a result view,
-// maintained purely from the subscription's change stream.
-type panel struct {
-	query     string
-	local     *gmr.GMR
-	batches   int
-	coalesced int
-	rate      float64
-	events    uint64
-	inSync    bool
-}
-
-// runPanel replays the agenda for one query while a subscriber keeps the
-// panel's local copy fresh. A close of stop between maintenance windows
-// cancels the subscription, reaps the consumer goroutine and aborts — the
-// graceful-shutdown path for SIGINT/SIGTERM.
-func runPanel(name string, events, batchSize int, seed int64, stop <-chan struct{}) (panel, error) {
-	var p panel
-	spec, ok := workload.Get(name)
-	if !ok {
-		return p, fmt.Errorf("unknown query %s", name)
-	}
-	prog, err := compiler.Compile(spec.Query, spec.Catalog, compiler.DefaultOptions())
-	if err != nil {
-		return p, fmt.Errorf("%s: %w", name, err)
-	}
-	eng := engine.New(prog)
-	for n, data := range spec.Statics() {
-		eng.LoadStatic(n, data)
-	}
-	if err := eng.Init(); err != nil {
-		return p, fmt.Errorf("%s: %w", name, err)
-	}
-	stream := spec.Stream(1.0, seed)
-	if len(stream) > events {
-		stream = stream[:events]
-	}
-
-	// Subscribe before the writer starts: the first batch is the catch-up
-	// state, everything after is deltas. The buffer covers every publication
-	// of this finite replay, so the in-sync check at the end is exact even
-	// when the consumer lags (an open-ended deployment would size it for the
-	// tolerated lag and rely on coalescing instead).
-	sub, err := eng.Subscribe("", engine.SubscribeOptions{Buffer: len(stream)/batchSize + 2})
-	if err != nil {
-		return p, fmt.Errorf("%s: subscribe: %w", name, err)
-	}
-	p = panel{query: name, local: gmr.New(types.Schema(eng.View(prog.ResultMap).Keys()))}
-	var consumer sync.WaitGroup
-	consumer.Add(1)
-	go func() {
-		defer consumer.Done()
-		for cb := range sub.C {
-			p.batches++
-			p.coalesced += cb.Coalesced
-			for _, e := range cb.Entries {
-				p.local.Add(e.Tuple, e.Mult)
-			}
-		}
-	}()
-
-	start := time.Now()
-	for _, window := range workload.Batches(stream, batchSize) {
-		select {
-		case <-stop:
-			sub.Cancel()
-			consumer.Wait()
-			return p, fmt.Errorf("%s: interrupted", name)
-		default:
-		}
-		if err := eng.ApplyBatch(engine.NewBatch(window)); err != nil {
-			sub.Cancel()
-			consumer.Wait()
-			return p, fmt.Errorf("%s: %w", name, err)
-		}
-	}
-	p.rate = float64(len(stream)) / time.Since(start).Seconds()
-
-	// Closing the subscription flushes nothing further; drain what was
-	// delivered and check the panel against the engine's final snapshot.
-	sub.Cancel()
-	consumer.Wait()
-	snap := eng.Acquire()
-	p.events = snap.Events()
-	p.inSync = gmr.Equal(p.local, snap.Result(), 1e-6)
-	return p, nil
-}
+var dashboardQueries = []string{"Q1", "Q3", "Q12", "Q18a"}
 
 func main() {
 	// Single exit point: every error path — including an interrupt — returns
-	// through run, so subscriptions are always cancelled and their consumer
-	// goroutines reaped before the process exits.
+	// through run, so the spawned server is always terminated and reaped.
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tpch_dashboard:", err)
 		os.Exit(1)
@@ -127,15 +49,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tpch_dashboard", flag.ContinueOnError)
-	events := fs.Int("events", 3000, "number of agenda events to replay")
-	batch := fs.Int("batch", 64, "events per maintenance batch (one change-stream publication each)")
+	events := fs.Int("events", 12000, "number of agenda events the server replays")
+	batch := fs.Int("batch", 64, "events per maintenance batch (one publication each)")
 	seed := fs.Int64("seed", 3, "stream generator seed")
+	snapshotAt := fs.String("snapshot-addr", "", "attach to a running dbtserve: its HTTP address (with -stream-addr; empty = spawn one)")
+	streamAt := fs.String("stream-addr", "", "attach to a running dbtserve: its TCP stream address")
+	wait := fs.Duration("wait", 60*time.Second, "how long to wait for the server to finish its replay")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// SIGINT/SIGTERM close stop; the running panel notices at its next
-	// maintenance window and shuts its subscription down cleanly.
+	// SIGINT/SIGTERM abort the wait loop; the deferred cleanup still
+	// terminates the spawned server.
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -144,19 +69,232 @@ func run(args []string) error {
 		close(stop)
 	}()
 
-	fmt.Printf("%-6s %12s %12s %8s %10s %10s %8s\n",
-		"Query", "events/s", "result rows", "batches", "coalesced", "maintained", "in-sync")
-	for _, q := range []string{"Q1", "Q3", "Q12", "Q18a"} {
-		p, err := runPanel(q, *events, *batch, *seed, stop)
+	snapshotAddr, streamAddr := *snapshotAt, *streamAt
+	if snapshotAddr == "" || streamAddr == "" {
+		var cleanup func()
+		var err error
+		snapshotAddr, streamAddr, cleanup, err = spawnServer(*events, *batch, *seed)
 		if err != nil {
 			return err
 		}
+		defer cleanup()
+	}
+
+	// One networked subscriber per panel. Dial is synchronous through the
+	// subscription ack; the catch-up state and every delta arrive on C.
+	type panel struct {
+		query   string
+		client  *serve.Client
+		local   *gmr.GMR
+		batches int
+		coal    int
+	}
+	var panels []*panel
+	defer func() {
+		for _, p := range panels {
+			p.client.Close()
+		}
+	}()
+	for _, q := range dashboardQueries {
+		c, err := dialRetry(streamAddr, q, *wait, stop)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		panels = append(panels, &panel{query: q, client: c,
+			local: gmr.New(types.Schema(c.Keys()))})
+	}
+
+	// drain applies every already-delivered batch to the panel's local copy
+	// without blocking; ok=false means the stream ended.
+	drain := func(p *panel) (bool, error) {
+		for {
+			select {
+			case b, ok := <-p.client.C:
+				if !ok {
+					if err := p.client.Err(); err != nil {
+						return false, fmt.Errorf("%s: stream ended: %w", p.query, err)
+					}
+					return false, fmt.Errorf("%s: stream ended before the replay finished", p.query)
+				}
+				if b.Reset {
+					p.local = gmr.New(types.Schema(p.client.Keys()))
+				}
+				for _, e := range b.Entries {
+					p.local.Add(e.Tuple, e.Mult)
+				}
+				p.batches++
+				p.coal += int(b.Coalesced)
+			default:
+				return true, nil
+			}
+		}
+	}
+
+	// Wait for the server to go quiescent (the replay flag in /stats clears;
+	// a server without the flag — attached externally — counts as quiescent),
+	// draining the panels the whole time so no stream ever backs up.
+	deadline := time.Now().Add(*wait)
+	for {
+		for _, p := range panels {
+			if _, err := drain(p); err != nil {
+				return err
+			}
+		}
+		st, err := serve.FetchStats(snapshotAddr)
+		if err == nil {
+			replaying, ok := st.Extra["replaying"].(bool)
+			if !ok || !replaying {
+				break
+			}
+		}
+		select {
+		case <-stop:
+			return fmt.Errorf("interrupted")
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not go quiescent within %v", *wait)
+		}
+	}
+
+	// The consistency check: each panel's stream-maintained copy against an
+	// HTTP snapshot of the same view. With the writer quiescent the two read
+	// paths must expose the same state. State, not positions: a stream
+	// position is the view's LAST PUBLICATION, which legitimately trails the
+	// snapshot's global event count for views the trailing batches left
+	// unchanged (see docs/serving.md). In-flight deltas may still be on the
+	// wire, so each panel gets a short convergence window.
+	fmt.Printf("%-6s %8s %12s %10s %10s %9s\n",
+		"Query", "batches", "coalesced", "rows", "snapshot", "in-sync")
+	for _, p := range panels {
+		var snap *serve.SnapshotResult
+		inSync := false
+		for end := time.Now().Add(10 * time.Second); ; {
+			if _, err := drain(p); err != nil {
+				return err
+			}
+			var err error
+			snap, err = serve.FetchSnapshot(snapshotAddr, p.query)
+			if err != nil {
+				return fmt.Errorf("%s: snapshot: %w", p.query, err)
+			}
+			if len(snap.Rows) == p.local.Len() {
+				inSync = true
+				break
+			}
+			if time.Now().After(end) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 		sync := "yes"
-		if !p.inSync {
+		if !inSync {
 			sync = "NO"
 		}
-		fmt.Printf("%-6s %12.0f %12d %8d %10d %10d %8s\n",
-			p.query, p.rate, p.local.Len(), p.batches, p.coalesced, p.events, sync)
+		fmt.Printf("%-6s %8d %12d %10d %10d %9s\n",
+			p.query, p.batches, p.coal, p.local.Len(), len(snap.Rows), sync)
+		if !inSync {
+			return fmt.Errorf("%s: stream copy (%d rows) disagrees with the quiescent snapshot (%d rows)",
+				p.query, p.local.Len(), len(snap.Rows))
+		}
 	}
 	return nil
+}
+
+// spawnServer builds dbtserve into a temporary directory and starts it on
+// ephemeral ports, parses the announced addresses from its first stdout
+// line, and returns a cleanup that sends SIGTERM (exercising the server's
+// graceful drain) and reaps it. The binary is executed directly — not via
+// `go run`, which does not forward SIGTERM to the built child and would
+// leave the server orphaned.
+func spawnServer(events, batch int, seed int64) (snapshotAddr, streamAddr string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "tpch_dashboard")
+	if err != nil {
+		return "", "", nil, err
+	}
+	bin := dir + "/dbtserve"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dbtserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, fmt.Errorf("building dbtserve (run from the repository root): %w", err)
+	}
+	cmd := exec.Command(bin,
+		"-queries", strings.Join(dashboardQueries, ","),
+		"-scale", "1.0",
+		"-events", fmt.Sprint(events),
+		"-batch", fmt.Sprint(batch),
+		"-seed", fmt.Sprint(seed),
+		"-replay", "once")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, fmt.Errorf("spawning dbtserve: %w", err)
+	}
+	cleanup = func() {
+		defer os.RemoveAll(dir)
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	// The announce line: "dbtserve: serving N queries (...) http=HOST:PORT tcp=HOST:PORT".
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if !strings.HasPrefix(line, "dbtserve: serving") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "http="); ok {
+				snapshotAddr = v
+			}
+			if v, ok := strings.CutPrefix(f, "tcp="); ok {
+				streamAddr = v
+			}
+		}
+		if snapshotAddr == "" || streamAddr == "" {
+			cleanup()
+			return "", "", nil, fmt.Errorf("could not parse server addresses from %q", line)
+		}
+		// Keep the pipe drained so the server never blocks on stdout.
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		return snapshotAddr, streamAddr, cleanup, nil
+	}
+	cleanup()
+	return "", "", nil, fmt.Errorf("dbtserve exited before announcing its addresses")
+}
+
+// dialRetry dials the stream address until it accepts (the spawned server
+// binds before announcing, so usually the first attempt lands).
+func dialRetry(addr, query string, wait time.Duration, stop <-chan struct{}) (*serve.Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := serve.Dial(addr, query, serve.ClientOptions{Buffer: 256})
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-stop:
+			return nil, fmt.Errorf("interrupted")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
 }

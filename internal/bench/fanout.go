@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/serve"
+	"dbtoaster/internal/workload"
+)
+
+// FanoutResult is one row of the read_fanout experiment: writer throughput
+// and subscriber-observed staleness while N networked change-stream clients
+// consume the result view over real TCP connections.
+type FanoutResult struct {
+	Query        string  `json:"query"`
+	Subs         int     `json:"subs"`         // draining TCP subscribers
+	Slow         int     `json:"slow"`         // stalled subscribers (never read their socket)
+	Events       int     `json:"events"`       // events the writer replayed
+	WriteRate    float64 `json:"writes_per_s"` // events/s with serving + subscribers active
+	Interference float64 `json:"interference"` // WriteRate / the query's subs=0 baseline
+	Delivered    uint64  `json:"delivered"`    // batches received across draining subscribers
+	FanoutQPS    float64 `json:"fanout_qps"`   // Delivered per second (fan-out delivery rate)
+	P50Staleness float64 `json:"p50_stale"`    // events the received batch lagged the live engine
+	P99Staleness float64 `json:"p99_stale"`
+	MaxStaleness uint64  `json:"max_stale"`
+	Coalesced    uint64  `json:"coalesced"` // publications folded by hub backpressure
+	Err          error   `json:"-"`
+}
+
+// fanout experiment tuning. The slow cell uses a tiny per-client buffer and
+// socket write buffer so a stalled reader backs up onto the server within the
+// cell's budget; the stall itself is at the TCP layer (the subscriber simply
+// never reads), exactly the failure a real slow dashboard produces.
+const (
+	fanoutSampleCap  = 512 // staleness samples retained per subscriber (rolling)
+	fanoutDialConc   = 64  // concurrent dials while attaching a subscriber fleet
+	fanoutSlowSubs   = 64  // draining subscribers in the slow-client cell
+	fanoutSlowStalls = 8   // stalled subscribers in the slow-client cell
+)
+
+// ReadFanout measures the networked serving tier: for each query, a writer
+// replays the stream through ApplyBatch while N serve.Client subscribers
+// consume the result change stream over TCP. Each query gets a subs=0
+// baseline (server up, hub subscribed, nobody attached), one cell per
+// subscriber count, and a slow-client cell where a handful of subscribers
+// stall completely (never reading their socket) while the rest drain — the
+// writer must keep running and the hub must coalesce, not block.
+//
+// Staleness is sampled at batch receipt as the live engine position minus the
+// batch position, in events: the freshness a networked dashboard actually
+// observes, including coalescing and TCP delivery delay.
+func ReadFanout(queries []string, subCounts []int, opts Options) []FanoutResult {
+	var out []FanoutResult
+	for _, q := range queries {
+		spec, ok := workload.Get(q)
+		if !ok {
+			out = append(out, FanoutResult{Query: q, Err: fmt.Errorf("unknown query %q", q)})
+			continue
+		}
+		base := fanoutCell(spec, 0, 0, serve.Options{SnapshotAddr: "-"}, opts)
+		base.Interference = 1
+		out = append(out, base)
+		for _, n := range subCounts {
+			if n < 1 {
+				continue
+			}
+			r := fanoutCell(spec, n, 0, serve.Options{SnapshotAddr: "-"}, opts)
+			if base.Err == nil && r.Err == nil && base.WriteRate > 0 {
+				r.Interference = r.WriteRate / base.WriteRate
+			}
+			out = append(out, r)
+		}
+		slow := fanoutCell(spec, fanoutSlowSubs, fanoutSlowStalls,
+			serve.Options{SnapshotAddr: "-", ClientBuffer: 4, WriteBuffer: 2048}, opts)
+		if base.Err == nil && slow.Err == nil && base.WriteRate > 0 {
+			slow.Interference = slow.WriteRate / base.WriteRate
+		}
+		out = append(out, slow)
+	}
+	return out
+}
+
+// fanoutSub is one draining subscriber's receipt log: a rolling staleness
+// sample buffer owned by its drain goroutine.
+type fanoutSub struct {
+	client  *serve.Client
+	samples []uint64
+	seen    uint64
+}
+
+func (s *fanoutSub) record(stale uint64) {
+	if len(s.samples) < fanoutSampleCap {
+		s.samples = append(s.samples, stale)
+	} else {
+		s.samples[s.seen%fanoutSampleCap] = stale
+	}
+	s.seen++
+}
+
+// fanoutCell runs one (query, subscribers, stalled) configuration.
+func fanoutCell(spec workload.Spec, subs, slow int, sopts serve.Options, opts Options) FanoutResult {
+	res := FanoutResult{Query: spec.Name, Subs: subs, Slow: slow}
+	batchSize := opts.BatchSize
+	if batchSize <= 1 {
+		batchSize = 256
+	}
+	o := opts
+	o.BatchSize = batchSize
+	eng, events, err := setup(spec, compiler.ModeDBToaster, o)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	srv, err := serve.New(eng, sopts)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// writerEvents is the live engine position the drain goroutines sample
+	// staleness against; measuring gates sample/delivery accounting to the
+	// writer's active window.
+	var (
+		writerEvents atomic.Uint64
+		measuring    atomic.Bool
+		delivered    atomic.Uint64
+	)
+	measuring.Store(true)
+
+	// Attach the stalled subscribers first: raw TCP connections that complete
+	// the hello/ack handshake and then never read again, so the server's
+	// writes back up at the transport.
+	var stalled []net.Conn
+	defer func() {
+		for _, c := range stalled {
+			c.Close()
+		}
+	}()
+	for i := 0; i < slow; i++ {
+		conn, err := dialStalled(srv.StreamAddr())
+		if err != nil {
+			res.Err = fmt.Errorf("stalled subscriber %d: %w", i, err)
+			return res
+		}
+		stalled = append(stalled, conn)
+	}
+
+	// Attach the draining fleet with bounded dial concurrency (a thousand
+	// sequential handshakes would eat the cell's budget).
+	fleet := make([]*fanoutSub, subs)
+	var dialWG sync.WaitGroup
+	dialErr := make(chan error, 1)
+	sem := make(chan struct{}, fanoutDialConc)
+	for i := range fleet {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := serve.Dial(srv.StreamAddr(), "", serve.ClientOptions{Buffer: 32})
+			if err != nil {
+				select {
+				case dialErr <- fmt.Errorf("subscriber %d: %w", i, err):
+				default:
+				}
+				return
+			}
+			fleet[i] = &fanoutSub{client: c}
+		}(i)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErr:
+		res.Err = err
+		return res
+	default:
+	}
+	var drainWG sync.WaitGroup
+	for _, s := range fleet {
+		drainWG.Add(1)
+		go func(s *fanoutSub) {
+			defer drainWG.Done()
+			for b := range s.client.C {
+				if !measuring.Load() {
+					continue
+				}
+				delivered.Add(1)
+				if w := writerEvents.Load(); w > b.Events {
+					s.record(w - b.Events)
+				} else {
+					s.record(0)
+				}
+			}
+		}(s)
+	}
+	defer func() {
+		for _, s := range fleet {
+			s.client.Close()
+		}
+		drainWG.Wait()
+	}()
+
+	// The writer cycles the stream until the budget expires, as in the other
+	// serving experiments: the subscribers are measured against a
+	// continuously busy writer even on short generated streams.
+	batches := workload.Batches(events, batchSize)
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Budget > 0 {
+		deadline = start.Add(opts.Budget)
+	}
+	processed := 0
+replay:
+	for {
+		for _, batch := range batches {
+			if err := eng.ApplyBatch(engine.NewBatch(batch)); err != nil {
+				res.Err = fmt.Errorf("events %d..%d: %w", processed, processed+len(batch)-1, err)
+				return res
+			}
+			processed += len(batch)
+			writerEvents.Store(eng.Events())
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break replay
+			}
+		}
+		if deadline.IsZero() {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	measuring.Store(false)
+
+	res.Events = processed
+	res.Delivered = delivered.Load()
+	if elapsed > 0 {
+		res.WriteRate = float64(processed) / elapsed.Seconds()
+		res.FanoutQPS = float64(res.Delivered) / elapsed.Seconds()
+	}
+	var all []uint64
+	for _, s := range fleet {
+		all = append(all, s.samples...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50Staleness = float64(all[len(all)/2])
+		res.P99Staleness = float64(all[len(all)*99/100])
+		res.MaxStaleness = all[len(all)-1]
+	}
+	for _, st := range srv.StreamStats() {
+		res.Coalesced += st.Coalesced
+	}
+	return res
+}
+
+// dialStalled opens a stream connection, completes the subscribe handshake,
+// and then abandons the socket unread — the worst-behaved subscriber the
+// backpressure contract must absorb.
+func dialStalled(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hello := serve.Hello{Version: serve.ProtocolVersion}
+	if _, err := conn.Write(serve.AppendHello(nil, hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// FormatFanoutTable renders the read_fanout experiment.
+func FormatFanoutTable(results []FanoutResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %5s %9s %12s %8s %11s %10s %10s %10s %10s\n",
+		"Query", "subs", "slow", "events", "writes/s", "interf", "fanout-qps", "p50-stale", "p99-stale", "max-stale", "coalesced")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-8s %6d %5d error: %v\n", r.Query, r.Subs, r.Slow, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %6d %5d %9d %12.0f %7.2fx %11.0f %10.0f %10.0f %10d %10d\n",
+			r.Query, r.Subs, r.Slow, r.Events, r.WriteRate, r.Interference,
+			r.FanoutQPS, r.P50Staleness, r.P99Staleness, r.MaxStaleness, r.Coalesced)
+	}
+	return b.String()
+}
+
+// CheckFanout enforces the CI guard over a ReadFanout run. The contract under
+// guard is that subscribers never BLOCK the writer: backpressure coalesces,
+// it does not stall. On hosts with at least four CPUs, delivery work runs on
+// other cores and the writer at the largest fleet must hold at least half its
+// subscriber-free rate. On a single core real isolation is impossible (the
+// fleet time-slices the writer's core), so the guard only rejects collapse —
+// a rate below 5% of baseline means the writer is being stalled, not merely
+// scheduled against. The slow-client cell must show coalescing engaged
+// (Coalesced > 0) with the writer still making progress.
+func CheckFanout(results []FanoutResult, queries []string, maxSubs int) error {
+	type cells struct {
+		base, top, slow *FanoutResult
+	}
+	byQuery := map[string]*cells{}
+	for i := range results {
+		r := &results[i]
+		c := byQuery[r.Query]
+		if c == nil {
+			c = &cells{}
+			byQuery[r.Query] = c
+		}
+		switch {
+		case r.Subs == 0 && r.Slow == 0:
+			c.base = r
+		case r.Subs == maxSubs && r.Slow == 0:
+			c.top = r
+		case r.Slow > 0:
+			c.slow = r
+		}
+	}
+	min, why := 0.05, "no-stall floor"
+	if runtime.NumCPU() >= 4 {
+		min, why = 0.5, "multi-core isolation floor"
+	}
+	for _, q := range queries {
+		c := byQuery[q]
+		if c == nil || c.base == nil || c.top == nil || c.slow == nil {
+			return fmt.Errorf("fanout guard: missing cells for %s", q)
+		}
+		for _, r := range []*FanoutResult{c.base, c.top, c.slow} {
+			if r.Err != nil {
+				return fmt.Errorf("fanout guard: %s subs=%d slow=%d: %w", q, r.Subs, r.Slow, r.Err)
+			}
+		}
+		if c.base.WriteRate <= 0 {
+			return fmt.Errorf("fanout guard: %s baseline measured no throughput", q)
+		}
+		if ratio := c.top.WriteRate / c.base.WriteRate; ratio < min {
+			return fmt.Errorf("fanout guard: %s writer at subs=%d runs at %.2fx baseline, below the %.2fx %s (NumCPU=%d)",
+				q, maxSubs, ratio, min, why, runtime.NumCPU())
+		}
+		if c.slow.Coalesced == 0 {
+			return fmt.Errorf("fanout guard: %s slow-client cell never coalesced — the stall was not absorbed by backpressure", q)
+		}
+		if ratio := c.slow.WriteRate / c.base.WriteRate; ratio < min {
+			return fmt.Errorf("fanout guard: %s writer with %d stalled subscribers runs at %.2fx baseline, below the %.2fx %s — stalled readers are blocking the writer",
+				q, c.slow.Slow, ratio, min, why)
+		}
+	}
+	return nil
+}

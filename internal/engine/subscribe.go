@@ -54,6 +54,15 @@ type SubscribeOptions struct {
 	// SkipInitial suppresses the catch-up batch; the consumer then sees only
 	// deltas for epochs after the subscription.
 	SkipInitial bool
+	// ResumeFrom, when non-nil, is the events position the consumer's copy of
+	// the view already reflects — the resume token of a previous subscription
+	// (every ChangeBatch.Events is one). When it matches the engine's current
+	// position the catch-up batch is skipped: the consumer is already current
+	// and the subscription delivers only subsequent deltas. A stale token
+	// falls back to the full catch-up batch, since the engine retains no
+	// per-epoch delta history (the serving tier's fan-out hub layers bounded
+	// delta retention on top for finer-grained resumes).
+	ResumeFrom *uint64
 }
 
 // Subscription is one consumer's handle on a view's change stream. Receive
@@ -107,7 +116,11 @@ func (e *Engine) Subscribe(view string, opts SubscribeOptions) (*Subscription, e
 		pending: gmr.New(types.Schema(v.Keys())),
 	}
 	sub.C = sub.ch
-	if !opts.SkipInitial {
+	skipInitial := opts.SkipInitial
+	if opts.ResumeFrom != nil && *opts.ResumeFrom == e.events.Load() {
+		skipInitial = true
+	}
+	if !skipInitial {
 		// The catch-up batch is built under the writer lock, so it is exactly
 		// the state of the subscription's epoch: deltas of later epochs
 		// compose onto it gap-free.

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"time"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+)
+
+// A hub multiplexes ONE engine subscription per view onto any number of
+// remote client streams. The hub goroutine owns a materialized copy of the
+// view (seeded from the subscription's catch-up batch and advanced by every
+// delta), so attaching a client at any moment yields catch-up state that is
+// gap-free consistent with the deltas that follow — without ever touching
+// the engine again. It also retains a bounded window of recent per-epoch
+// deltas, so a reconnecting client whose resume token is still covered
+// receives one merged delta instead of a full snapshot.
+//
+// Backpressure mirrors the engine's subscription contract: each client has a
+// bounded buffer; when it is full the delta is coalesced (merged, per-key
+// multiplicities summing) into the client's pending delta and delivered with
+// the next delta that finds room. Coalescing is lossless for state and never
+// blocks the hub — a slow client cannot stall the writer, the hub, or its
+// peers. On the fast path (empty pending, room in the buffer) all clients
+// share the engine's immutable entries slice, so fan-out to N clients costs
+// N channel sends, not N copies of the delta.
+
+// retained is one retained publication: the delta covering (from, to].
+type retained struct {
+	from, to uint64
+	entries  []gmr.Entry
+}
+
+// streamClient is one attached client stream. All fields are owned by the
+// hub goroutine; the connection's writer goroutine only receives from out.
+type streamClient struct {
+	out chan Batch
+	// pending accumulates coalesced deltas while out is full.
+	pending   *gmr.GMR
+	coalesced uint32
+	delivered uint64
+	coalTotal uint64
+}
+
+// hubReq is a request executed on the hub goroutine (attach, detach, stats),
+// serializing all hub state access without locks.
+type hubReq func(h *hub)
+
+type hub struct {
+	view      string
+	keys      []string
+	sub       *engine.Subscription
+	state     *gmr.GMR
+	events    uint64
+	retain    []retained
+	retainCap int
+	clientBuf int
+	chunk     int
+	clients   map[*streamClient]bool
+	reqs      chan hubReq
+	stopped   chan struct{}
+}
+
+// newHub subscribes to the view and seeds the hub's state from the catch-up
+// batch synchronously, so the first client attach (whenever it happens)
+// observes a fully seeded hub. Must be called where engine.Subscribe is safe
+// (server construction, per the serving-mode contract).
+func newHub(eng *engine.Engine, view string, opts Options) (*hub, error) {
+	sub, err := eng.Subscribe(view, engine.SubscribeOptions{Buffer: opts.hubBuffer()})
+	if err != nil {
+		return nil, err
+	}
+	keys := eng.View(view).Keys()
+	h := &hub{
+		view:      view,
+		keys:      keys,
+		sub:       sub,
+		state:     gmr.New(types.Schema(keys)),
+		retainCap: opts.retain(),
+		clientBuf: opts.clientBuffer(),
+		chunk:     opts.chunkEntries(),
+		clients:   map[*streamClient]bool{},
+		reqs:      make(chan hubReq),
+		stopped:   make(chan struct{}),
+	}
+	// The engine delivers the catch-up batch first (built under its writer
+	// lock), so seeding here is exactly the view at the subscription's epoch;
+	// an attach at any later moment composes gap-free with the deltas.
+	cb := <-sub.C
+	for _, e := range cb.Entries {
+		h.state.Add(e.Tuple, e.Mult)
+	}
+	h.events = cb.Events
+	go h.loop()
+	return h, nil
+}
+
+// loop is the hub goroutine: it applies subscription deltas and serves
+// attach/detach/stats requests. A short idle tick retries pending coalesced
+// deltas, so a client that stalled and recovered converges even when the
+// writer goes quiescent (a push-driven flush alone would strand the pending
+// delta until the next publication). It exits when the engine subscription
+// is cancelled (the server's drain path), closing every client buffer.
+func (h *hub) loop() {
+	defer close(h.stopped)
+	tick := time.NewTicker(idleFlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case cb, ok := <-h.sub.C:
+			if !ok {
+				h.closeClients()
+				return
+			}
+			h.apply(cb)
+		case <-tick.C:
+			for c := range h.clients {
+				c.tryFlush(h.events)
+			}
+		case req := <-h.reqs:
+			req(h)
+		}
+	}
+}
+
+// idleFlushInterval is how often the hub retries pending coalesced deltas
+// while the stream is quiet. Flushing is a no-op for clients with nothing
+// pending.
+const idleFlushInterval = 25 * time.Millisecond
+
+// apply advances the hub's materialized state by one publication, records it
+// in the retention window, and fans it out.
+func (h *hub) apply(cb engine.ChangeBatch) {
+	for _, e := range cb.Entries {
+		h.state.Add(e.Tuple, e.Mult)
+	}
+	from := h.events
+	h.events = cb.Events
+	if h.retainCap > 0 {
+		if len(h.retain) == h.retainCap {
+			copy(h.retain, h.retain[1:])
+			h.retain = h.retain[:h.retainCap-1]
+		}
+		h.retain = append(h.retain, retained{from: from, to: cb.Events, entries: cb.Entries})
+	}
+	for c := range h.clients {
+		c.push(cb.Entries, cb.Events)
+	}
+}
+
+// push delivers one delta to a client, coalescing on a full buffer. Fast
+// path: nothing pending and room in the buffer — the immutable entries slice
+// is shared across all fast-path clients.
+func (c *streamClient) push(entries []gmr.Entry, events uint64) {
+	if c.pending.IsEmpty() && c.coalesced == 0 {
+		select {
+		case c.out <- Batch{Events: events, Entries: entries}:
+			c.delivered++
+			return
+		default:
+		}
+	}
+	for _, e := range entries {
+		c.pending.Add(e.Tuple, e.Mult)
+	}
+	c.coalesced++
+	c.coalTotal++
+	c.tryFlush(events)
+}
+
+// tryFlush attempts to deliver the pending coalesced delta without blocking.
+// A backlog that cancelled out to zero is dropped (the client's state is
+// already correct); otherwise it stays pending for the next publication.
+func (c *streamClient) tryFlush(events uint64) {
+	if c.pending.IsEmpty() {
+		c.coalesced = 0
+		return
+	}
+	select {
+	case c.out <- Batch{Events: events, Coalesced: c.coalesced, Entries: c.pending.Entries()}:
+		// Entries shares the immutable tuples; Reset recycles only the
+		// pending store's own structures, so the delivered batch stays valid.
+		c.pending.Reset()
+		c.coalesced = 0
+		c.delivered++
+	default:
+	}
+}
+
+// closeClients flushes what it can and closes every client buffer; the
+// connection writers then run their end-of-stream path (Bye on drain).
+func (h *hub) closeClients() {
+	for c := range h.clients {
+		c.tryFlush(h.events)
+		close(c.out)
+	}
+	h.clients = map[*streamClient]bool{}
+}
+
+// attachResp is the hub's answer to a client attach: the chosen resume mode,
+// the position the stream starts at, and the catch-up batches the connection
+// must write before draining the client buffer.
+type attachResp struct {
+	c       *streamClient
+	mode    ResumeMode
+	events  uint64
+	catchup []Batch
+}
+
+// do runs a request on the hub goroutine, waits for it to finish, and
+// reports whether the hub was still alive to take it.
+func (h *hub) do(req hubReq) bool {
+	done := make(chan struct{})
+	select {
+	case h.reqs <- func(h *hub) {
+		req(h)
+		close(done)
+	}:
+		<-done
+		return true
+	case <-h.stopped:
+		return false
+	}
+}
+
+// attach registers a new client stream. With no (or a stale) resume token
+// the catch-up is the hub's full state, chunked; a token equal to the hub's
+// position attaches with nothing to send; a token still covered by the
+// retention window gets one merged delta. The catch-up batches bypass the
+// client buffer (the connection writes them first), so an arbitrarily large
+// snapshot never deadlocks a small buffer; deltas enqueued meanwhile wait in
+// the buffer behind them in order.
+func (h *hub) attach(resume *uint64) (attachResp, bool) {
+	var resp attachResp
+	ok := h.do(func(h *hub) {
+		c := &streamClient{
+			out:     make(chan Batch, h.clientBuf),
+			pending: gmr.New(types.Schema(h.keys)),
+		}
+		resp = attachResp{c: c, events: h.events}
+		switch {
+		case resume != nil && *resume == h.events:
+			resp.mode = ResumeCurrent
+		case resume != nil && h.mergeSince(*resume, &resp):
+			resp.mode = ResumeDelta
+		default:
+			resp.mode = ResumeSnapshot
+			resp.catchup = h.stateChunks()
+		}
+		h.clients[c] = true
+	})
+	return resp, ok
+}
+
+// mergeSince builds the merged-delta catch-up for a resume token, reporting
+// whether the retention window still covers it.
+func (h *hub) mergeSince(token uint64, resp *attachResp) bool {
+	start := -1
+	for i := range h.retain {
+		if h.retain[i].from == token {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	merged := gmr.New(types.Schema(h.keys))
+	for _, r := range h.retain[start:] {
+		for _, e := range r.entries {
+			merged.Add(e.Tuple, e.Mult)
+		}
+	}
+	n := len(h.retain) - start
+	resp.catchup = []Batch{{
+		Events:    h.events,
+		Resumed:   true,
+		Coalesced: uint32(n - 1),
+		Entries:   merged.Entries(),
+	}}
+	return true
+}
+
+// stateChunks cuts the hub's materialized state into catch-up batches of at
+// most chunk entries; the first carries the reset flag. An empty view still
+// yields one (empty) reset batch so the client learns its position.
+func (h *hub) stateChunks() []Batch {
+	entries := h.state.Entries()
+	var out []Batch
+	for first := true; first || len(entries) > 0; first = false {
+		n := len(entries)
+		if n > h.chunk {
+			n = h.chunk
+		}
+		out = append(out, Batch{
+			Events:  h.events,
+			Reset:   first,
+			Initial: true,
+			Entries: entries[:n],
+		})
+		entries = entries[n:]
+	}
+	return out
+}
+
+// detach removes a client and closes its buffer (flushing a pending delta
+// into it first if there is room, mirroring engine.Subscription.Cancel).
+func (h *hub) detach(c *streamClient) {
+	h.do(func(h *hub) {
+		if !h.clients[c] {
+			return
+		}
+		delete(h.clients, c)
+		c.tryFlush(h.events)
+		close(c.out)
+	})
+}
+
+// HubStats reports one view's fan-out counters.
+type HubStats struct {
+	View      string `json:"view"`
+	Clients   int    `json:"clients"`
+	Events    uint64 `json:"events"`
+	Delivered uint64 `json:"delivered"`
+	Coalesced uint64 `json:"coalesced"`
+	Retained  int    `json:"retained"`
+}
+
+// stats snapshots the hub's counters on the hub goroutine.
+func (h *hub) statsNow() HubStats {
+	st := HubStats{View: h.view}
+	if !h.do(func(h *hub) {
+		st.Clients = len(h.clients)
+		st.Events = h.events
+		st.Retained = len(h.retain)
+		for c := range h.clients {
+			st.Delivered += c.delivered
+			st.Coalesced += c.coalTotal
+		}
+	}) {
+		st.Events = h.events
+	}
+	return st
+}
+
+// shutdown cancels the engine subscription, which makes the hub loop exit
+// and close every client buffer, and waits for it.
+func (h *hub) shutdown() {
+	h.sub.Cancel()
+	<-h.stopped
+}

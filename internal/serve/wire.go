@@ -1,0 +1,520 @@
+// Package serve is the networked serving tier: it exposes a maintained
+// engine's query results to remote consumers across a process boundary.
+// Snapshot reads are served over HTTP/JSON, each response pinned to one
+// engine.Acquire() epoch; change streams are served over a length-prefixed
+// binary TCP protocol whose frames reuse the write-ahead log's kind-exact
+// value codec, so a remote subscriber reassembles the exact tuples an
+// in-process engine.Subscribe() consumer would see. A per-view fan-out hub
+// multiplexes one engine subscription onto any number of client streams with
+// per-client bounded buffers and the engine's lossless coalescing
+// backpressure: a slow client coalesces, it never stalls the writer or its
+// peers (see fanout.go); serve.Client is the matching consumer with
+// catch-up state and resubscribe-on-reconnect resume tokens (client.go).
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"dbtoaster/internal/gmr"
+	"dbtoaster/internal/types"
+	"dbtoaster/internal/wal"
+)
+
+// The wire protocol frames every message as
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// (little-endian, the WAL's record framing) with the payload
+//
+//	u8 kind, then kind-specific fields.
+//
+// Kinds and their payloads:
+//
+//	hello  (client → server)  u8 version, u16 query length + query name,
+//	                          u8 has-resume, [u64 resume events]
+//	subAck (server → client)  u8 version, u8 resume mode, u64 events,
+//	                          u16 view length + view name, u16 key count,
+//	                          per key u16 length + name
+//	batch  (server → client)  u64 events, u8 flags (reset|initial|resumed),
+//	                          u32 coalesced, u32 entry count, per entry
+//	                          u16 arity, arity kind-exact values (the WAL
+//	                          value codec), f64 multiplicity bits
+//	error  (server → client)  u16 message length + message
+//	bye    (server → client)  u8 reason
+//
+// Tuple values ride the WAL's kind-exact encoding (wal.AppendValue), not the
+// canonical key encoding: a remote consumer must reassemble tuples
+// bit-identical to the in-process change stream, and the key encoding
+// deliberately collapses value kinds that Compare equal.
+//
+// Decoding is strict: short frames, CRC mismatches, counts that exceed the
+// remaining payload, and trailing bytes are all errors with diagnostics —
+// never panics, and never allocations sized by an unvalidated count.
+
+// ProtocolVersion is the wire protocol version spoken by this package.
+const ProtocolVersion = 1
+
+const (
+	frameHello = 1
+	frameAck   = 2
+	frameBatch = 3
+	frameError = 4
+	frameBye   = 5
+
+	frameHeaderBytes = 8       // payload length + CRC
+	maxFrameBytes    = 1 << 26 // sanity cap on a single frame's payload (64 MiB)
+
+	flagReset   = 1 << 0
+	flagInitial = 1 << 1
+	flagResumed = 1 << 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ResumeMode says how the server answered a subscription's resume token.
+type ResumeMode uint8
+
+const (
+	// ResumeSnapshot: the token was absent or too stale for the hub's
+	// retained deltas; the catch-up sequence replaces the client's state
+	// (the first batch carries the reset flag).
+	ResumeSnapshot ResumeMode = 0
+	// ResumeDelta: the retained delta history covered the token; the client
+	// receives one merged delta batch and keeps its state.
+	ResumeDelta ResumeMode = 1
+	// ResumeCurrent: the token matches the server's position; nothing was
+	// missed and the client's state is already current.
+	ResumeCurrent ResumeMode = 2
+)
+
+// String names the mode for diagnostics.
+func (m ResumeMode) String() string {
+	switch m {
+	case ResumeSnapshot:
+		return "snapshot"
+	case ResumeDelta:
+		return "delta"
+	case ResumeCurrent:
+		return "current"
+	default:
+		return fmt.Sprintf("ResumeMode(%d)", uint8(m))
+	}
+}
+
+// Hello is the client's subscription request, the first frame on a stream
+// connection.
+type Hello struct {
+	Version byte
+	// Query names the registered query whose result stream to subscribe to
+	// ("" means the program's primary query).
+	Query string
+	// Resume, when true, carries the events position the client's state
+	// already reflects; the server answers with the cheapest sufficient
+	// resume mode.
+	Resume       bool
+	ResumeEvents uint64
+}
+
+// SubAck is the server's answer to a Hello: the subscription's starting
+// position and the result view's schema.
+type SubAck struct {
+	Version byte
+	Mode    ResumeMode
+	// Events is the server's stream position at subscription; batches follow
+	// with strictly increasing Events.
+	Events uint64
+	View   string
+	Keys   []string
+}
+
+// Batch is one change-stream frame: the net delta of one or more published
+// epochs (or a chunk of catch-up state when Initial is set).
+type Batch struct {
+	// Events is the position this batch brings the subscriber up to.
+	Events uint64
+	// Reset instructs the consumer to clear its local copy before applying
+	// Entries — the first frame of a catch-up sequence.
+	Reset bool
+	// Initial marks catch-up frames: Entries is state, not a delta. A large
+	// catch-up is chunked over several Initial frames; the last one is
+	// implicit (the next non-Initial frame, or none until a delta arrives).
+	Initial bool
+	// Resumed marks the merged-delta answer to a resume token.
+	Resumed bool
+	// Coalesced counts publications folded into this batch because the
+	// client's buffer was full when they were flushed.
+	Coalesced uint32
+	// Entries are the tuples with their multiplicity change (or, for
+	// Initial frames, absolute multiplicity).
+	Entries []gmr.Entry
+}
+
+// ErrorFrame carries a server-side subscription failure (unknown query,
+// protocol violation); the server closes the connection after sending it.
+type ErrorFrame struct {
+	Msg string
+}
+
+// Bye is the server's graceful close notice.
+type Bye struct {
+	// Reason 0 is a drain: the server is shutting down and the client may
+	// reconnect (to a restarted instance) with its resume token.
+	Reason byte
+}
+
+// appendFrameHeader reserves the header at the end of dst and returns the
+// extended slice plus the header's offset; finishFrame backpatches it.
+func appendFrameHeader(dst []byte) ([]byte, int) {
+	start := len(dst)
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0), start
+}
+
+func finishFrame(dst []byte, start int) []byte {
+	payload := dst[start+frameHeaderBytes:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+func appendString16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendHello appends a framed Hello to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst, start := appendFrameHeader(dst)
+	dst = append(dst, frameHello, h.Version)
+	dst = appendString16(dst, h.Query)
+	if h.Resume {
+		dst = append(dst, 1)
+		dst = binary.LittleEndian.AppendUint64(dst, h.ResumeEvents)
+	} else {
+		dst = append(dst, 0)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendSubAck appends a framed SubAck to dst.
+func AppendSubAck(dst []byte, a SubAck) []byte {
+	dst, start := appendFrameHeader(dst)
+	dst = append(dst, frameAck, a.Version, byte(a.Mode))
+	dst = binary.LittleEndian.AppendUint64(dst, a.Events)
+	dst = appendString16(dst, a.View)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(a.Keys)))
+	for _, k := range a.Keys {
+		dst = appendString16(dst, k)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendBatch appends a framed Batch to dst.
+func AppendBatch(dst []byte, b Batch) []byte {
+	dst, start := appendFrameHeader(dst)
+	dst = append(dst, frameBatch)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Events)
+	var flags byte
+	if b.Reset {
+		flags |= flagReset
+	}
+	if b.Initial {
+		flags |= flagInitial
+	}
+	if b.Resumed {
+		flags |= flagResumed
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, b.Coalesced)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Entries)))
+	for _, e := range b.Entries {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Tuple)))
+		for _, v := range e.Tuple {
+			dst = wal.AppendValue(dst, v)
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Mult))
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendError appends a framed ErrorFrame to dst.
+func AppendError(dst []byte, e ErrorFrame) []byte {
+	dst, start := appendFrameHeader(dst)
+	dst = append(dst, frameError)
+	dst = appendString16(dst, e.Msg)
+	return finishFrame(dst, start)
+}
+
+// AppendBye appends a framed Bye to dst.
+func AppendBye(dst []byte, b Bye) []byte {
+	dst, start := appendFrameHeader(dst)
+	dst = append(dst, frameBye, b.Reason)
+	return finishFrame(dst, start)
+}
+
+// DecodeFrame parses the frame at the front of b: it validates the header
+// and CRC, decodes the payload, and returns the decoded message (*Hello,
+// *SubAck, *Batch, *ErrorFrame, or *Bye) plus the total framed size. Any
+// malformation — short frame, implausible length, CRC mismatch, counts that
+// exceed the payload, trailing bytes — is an error with a diagnostic; the
+// decoder never panics and never allocates from an unvalidated count.
+func DecodeFrame(b []byte) (msg any, n int, err error) {
+	if len(b) < frameHeaderBytes {
+		return nil, 0, fmt.Errorf("serve: truncated frame header (%d bytes)", len(b))
+	}
+	length := int(binary.LittleEndian.Uint32(b))
+	if length <= 0 || length > maxFrameBytes {
+		return nil, 0, fmt.Errorf("serve: implausible frame length %d", length)
+	}
+	if len(b) < frameHeaderBytes+length {
+		return nil, 0, fmt.Errorf("serve: truncated frame payload (want %d bytes, have %d)", length, len(b)-frameHeaderBytes)
+	}
+	payload := b[frameHeaderBytes : frameHeaderBytes+length]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("serve: frame CRC mismatch (stored %#x, computed %#x)", want, got)
+	}
+	msg, err = decodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg, frameHeaderBytes + length, nil
+}
+
+// decoder walks a frame payload with bounds-checked reads.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.pos }
+
+func (d *decoder) u8(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("serve: truncated %s", what)
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u16(what string) (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, fmt.Errorf("serve: truncated %s", what)
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32(what string) (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("serve: truncated %s", what)
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64(what string) (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("serve: truncated %s", what)
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) str16(what string) (string, error) {
+	n, err := d.u16(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if d.remaining() < int(n) {
+		return "", fmt.Errorf("serve: truncated %s (%d bytes)", what, n)
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) finish(kind string) error {
+	if d.pos != len(d.b) {
+		return fmt.Errorf("serve: %d trailing bytes in %s frame", len(d.b)-d.pos, kind)
+	}
+	return nil
+}
+
+func decodePayload(p []byte) (any, error) {
+	d := &decoder{b: p}
+	kind, err := d.u8("frame kind")
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case frameHello:
+		h := &Hello{}
+		if h.Version, err = d.u8("hello version"); err != nil {
+			return nil, err
+		}
+		if h.Query, err = d.str16("hello query"); err != nil {
+			return nil, err
+		}
+		has, err := d.u8("hello resume flag")
+		if err != nil {
+			return nil, err
+		}
+		if has > 1 {
+			return nil, fmt.Errorf("serve: bad hello resume flag %d", has)
+		}
+		if has == 1 {
+			h.Resume = true
+			if h.ResumeEvents, err = d.u64("hello resume token"); err != nil {
+				return nil, err
+			}
+		}
+		return h, d.finish("hello")
+	case frameAck:
+		a := &SubAck{}
+		if a.Version, err = d.u8("ack version"); err != nil {
+			return nil, err
+		}
+		mode, err := d.u8("ack resume mode")
+		if err != nil {
+			return nil, err
+		}
+		if mode > uint8(ResumeCurrent) {
+			return nil, fmt.Errorf("serve: unknown resume mode %d", mode)
+		}
+		a.Mode = ResumeMode(mode)
+		if a.Events, err = d.u64("ack events"); err != nil {
+			return nil, err
+		}
+		if a.View, err = d.str16("ack view"); err != nil {
+			return nil, err
+		}
+		nKeys, err := d.u16("ack key count")
+		if err != nil {
+			return nil, err
+		}
+		// Every key needs at least its 2-byte length, so the count is
+		// validated against the remaining payload before sizing the slice.
+		if int(nKeys)*2 > d.remaining() {
+			return nil, fmt.Errorf("serve: ack key count %d exceeds payload", nKeys)
+		}
+		if nKeys > 0 {
+			a.Keys = make([]string, 0, nKeys)
+		}
+		for i := 0; i < int(nKeys); i++ {
+			k, err := d.str16("ack key")
+			if err != nil {
+				return nil, fmt.Errorf("%w (key %d)", err, i)
+			}
+			a.Keys = append(a.Keys, k)
+		}
+		return a, d.finish("ack")
+	case frameBatch:
+		b := &Batch{}
+		if b.Events, err = d.u64("batch events"); err != nil {
+			return nil, err
+		}
+		flags, err := d.u8("batch flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags&^(flagReset|flagInitial|flagResumed) != 0 {
+			return nil, fmt.Errorf("serve: unknown batch flags %#x", flags)
+		}
+		b.Reset = flags&flagReset != 0
+		b.Initial = flags&flagInitial != 0
+		b.Resumed = flags&flagResumed != 0
+		if b.Coalesced, err = d.u32("batch coalesced"); err != nil {
+			return nil, err
+		}
+		nEntries, err := d.u32("batch entry count")
+		if err != nil {
+			return nil, err
+		}
+		// An entry is at least arity (2) + multiplicity (8) bytes.
+		if int64(nEntries)*10 > int64(d.remaining()) {
+			return nil, fmt.Errorf("serve: batch entry count %d exceeds payload", nEntries)
+		}
+		if nEntries > 0 {
+			b.Entries = make([]gmr.Entry, 0, nEntries)
+		}
+		for i := 0; i < int(nEntries); i++ {
+			arity, err := d.u16("entry arity")
+			if err != nil {
+				return nil, fmt.Errorf("%w (entry %d)", err, i)
+			}
+			var tup types.Tuple
+			if arity > 0 {
+				// A value is at least one tag byte.
+				if int(arity) > d.remaining() {
+					return nil, fmt.Errorf("serve: entry %d arity %d exceeds payload", i, arity)
+				}
+				tup = make(types.Tuple, 0, arity)
+				for j := 0; j < int(arity); j++ {
+					v, n, err := wal.DecodeValue(d.b[d.pos:])
+					if err != nil {
+						return nil, fmt.Errorf("serve: entry %d value %d: %w", i, j, err)
+					}
+					tup = append(tup, v)
+					d.pos += n
+				}
+			}
+			bits, err := d.u64("entry multiplicity")
+			if err != nil {
+				return nil, fmt.Errorf("%w (entry %d)", err, i)
+			}
+			b.Entries = append(b.Entries, gmr.Entry{Tuple: tup, Mult: math.Float64frombits(bits)})
+		}
+		return b, d.finish("batch")
+	case frameError:
+		e := &ErrorFrame{}
+		if e.Msg, err = d.str16("error message"); err != nil {
+			return nil, err
+		}
+		return e, d.finish("error")
+	case frameBye:
+		b := &Bye{}
+		if b.Reason, err = d.u8("bye reason"); err != nil {
+			return nil, err
+		}
+		return b, d.finish("bye")
+	default:
+		return nil, fmt.Errorf("serve: unknown frame kind %d", kind)
+	}
+}
+
+// ReadFrame reads one complete frame (header + payload) from r into buf,
+// growing it as needed, and returns the framed bytes ready for DecodeFrame.
+// The length is validated before the payload is read, so a corrupt header
+// cannot force an oversized allocation.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < frameHeaderBytes {
+		buf = make([]byte, frameHeaderBytes, 4096)
+	}
+	buf = buf[:frameHeaderBytes]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	length := int(binary.LittleEndian.Uint32(buf))
+	if length <= 0 || length > maxFrameBytes {
+		return nil, fmt.Errorf("serve: implausible frame length %d", length)
+	}
+	total := frameHeaderBytes + length
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[frameHeaderBytes:]); err != nil {
+		return nil, fmt.Errorf("serve: short frame payload: %w", err)
+	}
+	return buf, nil
+}

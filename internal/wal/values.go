@@ -1,0 +1,19 @@
+package wal
+
+import "dbtoaster/internal/types"
+
+// The value codec below is the log's kind-exact encoding (record.go): a tag
+// byte plus a kind-specific payload that round-trips the exact runtime kind
+// of every value, unlike the canonical key encoding which collapses kinds
+// that Compare equal. The serving tier's wire protocol (internal/serve)
+// reuses it so a remote consumer reassembles change-stream tuples
+// bit-identical to the in-process ones.
+
+// AppendValue appends the kind-exact encoding of v to dst and returns the
+// extended slice.
+func AppendValue(dst []byte, v types.Value) []byte { return appendValue(dst, v) }
+
+// DecodeValue parses one kind-exact value from the front of b, returning the
+// value and the number of bytes consumed. Truncated or unknown encodings are
+// errors, never panics.
+func DecodeValue(b []byte) (types.Value, int, error) { return decodeValue(b) }
